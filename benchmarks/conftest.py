@@ -1,0 +1,68 @@
+"""Shared infrastructure for the per-figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation, prints the same rows/series the paper reports, and writes
+them to ``benchmarks/results/<experiment>.txt`` so the output survives
+pytest's capture. Set ``REPRO_BENCH_SCALE`` (default 1.0) to lengthen
+or shorten all simulations; publication-grade runs would use 5-10x.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def sim_cycles(warmup, measure, drain=0):
+    """Scaled phase lengths for one simulation."""
+    return dict(
+        warmup=max(50, int(warmup * SCALE)),
+        measure=max(100, int(measure * SCALE)),
+        drain=int(drain * SCALE),
+    )
+
+
+class Report:
+    """Collects the lines of one experiment's output table."""
+
+    def __init__(self, experiment, title):
+        self.experiment = experiment
+        self.lines = [title, "=" * len(title)]
+
+    def line(self, text=""):
+        self.lines.append(text)
+
+    def row(self, *cells, widths=None):
+        widths = widths or [16] * len(cells)
+        self.lines.append(
+            " ".join(
+                f"{cell:>{w}}" if not isinstance(cell, str) else f"{cell:<{w}}"
+                for cell, w in zip(cells, widths)
+            )
+        )
+
+    def save(self):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(str(l) for l in self.lines) + "\n"
+        (RESULTS_DIR / f"{self.experiment}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture
+def report(request):
+    """Create a Report named after the requesting test."""
+
+    def make(title):
+        name = request.node.name.replace("test_", "")
+        return Report(name, title)
+
+    return make
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Figure 7: injection rate vs throughput for the chaining schemes.
+
+Paper, Fig 7(a) (mesh): considering all VCs of the same input or all
+inputs and VCs gives a 5% higher saturation throughput than iSLIP-1 on
+uniform random traffic.
+
+Paper, Fig 7(b) (FBFly): selecting among all inputs and VCs increases
+throughput by 9% for uniform random traffic vs disabling chaining.
+"""
+
+from conftest import once, sim_cycles
+
+from repro import fbfly_config, mesh_config, run_simulation
+
+CYCLES = sim_cycles(warmup=300, measure=700)
+MESH_RATES = [0.25, 0.38, 0.45, 0.7, 1.0]
+FBFLY_RATES = [0.35, 0.5, 0.62, 0.8, 1.0]
+SCHEMES = ["disabled", "same_vc", "same_input", "any_input"]
+
+
+def sweep(config_factory, rates):
+    series = {}
+    for scheme in SCHEMES:
+        series[scheme] = [
+            run_simulation(
+                config_factory(chaining=scheme), pattern="uniform",
+                rate=rate, packet_length=1, **CYCLES,
+            ).avg_throughput
+            for rate in rates
+        ]
+    return series
+
+
+def _render(rep, rates, series):
+    rep.row("scheme", *(f"{r:.2f}" for r in rates),
+            widths=[12] + [8] * len(rates))
+    for scheme, tps in series.items():
+        rep.row(scheme, *(f"{t:.3f}" for t in tps),
+                widths=[12] + [8] * len(rates))
+
+
+def test_fig07a_mesh(benchmark, report):
+    series = once(benchmark, lambda: sweep(mesh_config, MESH_RATES))
+    rep = report("Figure 7(a): rate vs throughput by chaining scheme "
+                 "(mesh, 1-flit, uniform)")
+    _render(rep, MESH_RATES, series)
+    base = series["disabled"][-1]
+    rep.line()
+    for scheme in SCHEMES[1:]:
+        gain = 100 * (series[scheme][-1] / base - 1)
+        rep.line(f"{scheme} at max injection: {gain:+.1f}%")
+    rep.line("paper: same-input / any-input +5% at saturation, "
+             "same-input best for the mesh")
+    rep.save()
+
+    assert series["same_input"][-1] > base
+    assert series["any_input"][-1] > base
+    # Section 4.5: same-input is the best scheme for DOR on a mesh.
+    assert series["same_input"][-1] >= series["any_input"][-1] - 0.02
+
+
+def test_fig07b_fbfly(benchmark, report):
+    series = once(benchmark, lambda: sweep(fbfly_config, FBFLY_RATES))
+    rep = report("Figure 7(b): rate vs throughput by chaining scheme "
+                 "(FBFly, 1-flit, uniform)")
+    _render(rep, FBFLY_RATES, series)
+    base = series["disabled"][-1]
+    rep.line()
+    for scheme in SCHEMES[1:]:
+        gain = 100 * (series[scheme][-1] / base - 1)
+        rep.line(f"{scheme} at max injection: {gain:+.1f}%")
+    rep.line("paper: any-input +9% on uniform random")
+    rep.save()
+
+    assert series["any_input"][-1] > base
+    gain = series["any_input"][-1] / base - 1
+    assert 0.03 < gain < 0.20  # paper: ~9%

@@ -1,0 +1,52 @@
+"""Section 4.9: packet chaining cost vs other allocators.
+
+Paper: "compared to packet chaining, wavefront requires 1.5x more
+power, 1.25x more area and 20% more delay in the mesh, as well as 3x
+more power, 1.35x more area and 36% more delay in the FBFly." A
+two-iteration separable allocator has the same area but twice the delay
+and worst-case power; SAME_INPUT chaining needs only per-input arbiters.
+"""
+
+import pytest
+from conftest import once
+
+from repro import AllocatorCostModel
+
+MESH_RADIX, FBFLY_RADIX = 5, 10
+
+
+def run_experiment():
+    return {
+        "mesh": AllocatorCostModel(MESH_RADIX),
+        "fbfly": AllocatorCostModel(FBFLY_RADIX),
+    }
+
+
+def test_sec49_cost(benchmark, report):
+    models = once(benchmark, run_experiment)
+    rep = report("Section 4.9: allocator cost model "
+                 "(relative to iSLIP-1 = 1.0)")
+    for topo, model in models.items():
+        rep.line()
+        rep.line(f"[{topo}] radix {model.radix}")
+        rep.row("allocator", "area", "power", "delay", widths=[16, 7, 7, 7])
+        for r in model.table():
+            rep.row(r.name, f"{r.area:.2f}", f"{r.power:.2f}", f"{r.delay:.2f}",
+                    widths=[16, 7, 7, 7])
+        rel = model.wavefront_vs_packet_chaining()
+        rep.line(
+            f"wavefront vs PC: {rel.power:.2f}x power, {rel.area:.2f}x area,"
+            f" +{100 * (rel.delay - 1):.0f}% delay"
+        )
+    rep.line()
+    rep.line("paper: mesh 1.5x/1.25x/+20%; FBFly 3x/1.35x/+36%")
+    rep.save()
+
+    mesh = models["mesh"].wavefront_vs_packet_chaining()
+    assert mesh.power == pytest.approx(1.5)
+    assert mesh.area == pytest.approx(1.25)
+    assert mesh.delay == pytest.approx(1.20)
+    fb = models["fbfly"].wavefront_vs_packet_chaining()
+    assert fb.power == pytest.approx(3.0)
+    assert fb.area == pytest.approx(1.35)
+    assert fb.delay == pytest.approx(1.36)

@@ -1,0 +1,49 @@
+"""Allocator shootout at maximum injection rate (the Figure 6(a) story).
+
+Compares iSLIP-1, iSLIP-2, wavefront and augmenting-paths switch
+allocators against iSLIP-1 + packet chaining on the 8x8 mesh with
+single-flit uniform traffic at the maximum injection rate, and prints
+each allocator's hardware cost from the Section 4.9 model next to its
+performance — the paper's core trade-off in one table.
+
+Run:  python examples/allocator_shootout.py
+"""
+
+from repro import AllocatorCostModel, mesh_config, run_simulation
+
+SIM = dict(pattern="uniform", rate=1.0, packet_length=1,
+           warmup=400, measure=1000, drain=0)
+
+CONFIGS = [
+    ("iSLIP-1", dict(allocator="islip1"), "islip1"),
+    ("iSLIP-2", dict(allocator="islip2"), "islip2"),
+    ("wavefront", dict(allocator="wavefront"), "wavefront"),
+    ("augmenting", dict(allocator="augmenting"), "augmenting"),
+    ("iSLIP-1 + PC", dict(allocator="islip1", chaining="same_input"),
+     "pc_any_input"),
+]
+
+
+def main():
+    cost = AllocatorCostModel(radix=5)  # mesh router
+    print("8x8 mesh, single-flit packets, uniform random, "
+          "maximum injection rate\n")
+    print(f"{'allocator':<14} {'tput':>6} {'worst-src':>9}"
+          f" {'area x':>7} {'power x':>8} {'delay x':>8}")
+    baseline = None
+    for name, overrides, cost_kind in CONFIGS:
+        result = run_simulation(mesh_config(**overrides), **SIM)
+        report = cost.report(cost_kind)
+        tp = result.avg_throughput
+        if baseline is None:
+            baseline = tp
+        print(f"{name:<14} {tp:>6.3f} {result.min_throughput:>9.3f}"
+              f" {report.area:>7.2f} {report.power:>8.2f} {report.delay:>8.2f}"
+              f"   ({100 * (tp / baseline - 1):+.1f}% vs iSLIP-1)")
+    print("\nPacket chaining reaches the matching quality of far more"
+          " expensive allocators\nwhile keeping a single-iteration"
+          " separable allocator's cycle time (delay 1.0x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Stability timeline: watching tree saturation form (Figure 5's story).
+
+Drives the mesh at maximum injection and samples accepted throughput in
+100-cycle windows. Without packet chaining, throughput peaks as queues
+fill and then degrades as tree saturation forms; with chaining the
+network stabilizes near its peak. Prints an ASCII timeline of both.
+
+Run:  python examples/stability_timeline.py
+"""
+
+import random
+
+from repro import mesh_config
+from repro.network.network import Network
+from repro.sim.runner import SimulationRun
+from repro.stats.timeseries import attach
+from repro.traffic import BernoulliInjector, FixedLength, UniformRandom
+
+WINDOW = 100
+CYCLES = 3000
+
+
+def run(scheme):
+    config = mesh_config(chaining=scheme)
+    net = Network(config)
+    series = attach(net.stats, window=WINDOW)
+    net.stats.set_window(0, CYCLES)
+    rng = random.Random(7)
+    injector = BernoulliInjector(
+        net.num_terminals, UniformRandom(net.num_terminals),
+        rate=1.0, lengths=FixedLength(1), rng=rng,
+    )
+    SimulationRun(net, injector, warmup=0, measure=CYCLES, drain=0).execute()
+    return series
+
+
+def sparkline(values, peak):
+    blocks = " .:-=+*#%@"
+    out = []
+    for v in values:
+        idx = min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))
+        out.append(blocks[idx])
+    return "".join(out)
+
+
+def main():
+    print(f"8x8 mesh, single-flit uniform random at maximum injection;"
+          f" {WINDOW}-cycle windows\n")
+    results = {name: run(name) for name in ("disabled", "same_input")}
+    peak = max(max(s.throughput_series()) for s in results.values())
+    for name, series in results.items():
+        tps = series.throughput_series()
+        label = "iSLIP-1" if name == "disabled" else "chaining"
+        print(f"{label:<9} |{sparkline(tps, peak)}|  "
+              f"final/peak = {series.stability_ratio():.2f}")
+    print(f"\npeak window throughput: {peak:.3f} flits/node/cycle")
+    print("A flat tail means the network is stable past saturation; a"
+          " decaying tail\nis tree saturation eating throughput"
+          " (Section 4.1).")
+
+
+if __name__ == "__main__":
+    main()

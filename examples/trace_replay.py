@@ -1,0 +1,57 @@
+"""Trace-driven network evaluation.
+
+Records the coherence-message trace of one CMP run (cores + caches +
+directory — the expensive part), then replays the identical traffic
+against several router configurations. This is the classic trace-driven
+NoC methodology: the workload is computed once, the network design
+space is explored cheaply. (Open-loop replay: trace timing does not
+react to backpressure — fine for latency comparisons at moderate load.)
+
+Run:  python examples/trace_replay.py [workload]
+"""
+
+import sys
+
+from repro.network.config import mesh_config
+from repro.network.network import Network
+from repro.sim.runner import SimulationRun
+from repro.traffic.trace import TraceInjector, record_cmp_trace
+
+RECORD_CYCLES = 800
+
+CONFIGS = [
+    ("iSLIP-1", dict()),
+    ("iSLIP-2", dict(allocator="islip2")),
+    ("wavefront", dict(allocator="wavefront")),
+    ("PC same-input", dict(chaining="same_input", starvation_threshold=8)),
+]
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "blackscholes"
+    print(f"recording {RECORD_CYCLES} cycles of {workload!r} coherence "
+          f"traffic ...")
+    trace = record_cmp_trace(workload, mesh_config(), cycles=RECORD_CYCLES)
+    flits = sum(e.size for e in trace)
+    print(f"trace: {len(trace)} packets, {flits} flits "
+          f"({flits / RECORD_CYCLES / 64:.3f} flits/node/cycle offered)\n")
+
+    print(f"{'router':<15} {'accepted':>9} {'mean lat':>9} {'p99':>6} {'max':>6}")
+    span = trace[-1].cycle - trace[0].cycle + 1 if trace else 1
+    for name, overrides in CONFIGS:
+        net = Network(mesh_config(**overrides))
+        injector = TraceInjector(trace, net.num_terminals)
+        net.stats.set_window(0, 10**9)
+        result = SimulationRun(net, injector, warmup=0,
+                               measure=span, drain=2000).execute()
+        print(f"{name:<15} {result.avg_throughput:>9.3f}"
+              f" {result.packet_latency.mean:>9.1f}"
+              f" {result.packet_latency.p99:>6.0f}"
+              f" {result.packet_latency.max:>6.0f}")
+    print("\nSame traffic, different routers: chaining trims the latency"
+          " tail that the\ncoherence protocol's critical-path messages"
+          " sit on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Maximum-matching allocator via augmenting paths (Ford-Fulkerson).
+
+The paper's most expensive comparison point: "Augmenting paths
+allocators generate maximum matchings but are too costly for
+single-cycle implementations. They locate all paths from unmatched
+inputs to unmatched outputs in the directed bipartite allocation graph."
+As the paper notes, this allocator "optimizes throughput only locally
+and does not take into account fairness" — inputs can be passed over
+indefinitely if matching them would prevent a maximum matching. We
+rotate the order in which unmatched inputs start their searches so ties
+between equally-sized matchings do not permanently favor low indices,
+but no fairness is guaranteed (faithful to the paper's characterization).
+
+Priority classes are strict: a maximum matching is first built over the
+highest class, then augmented with lower classes. Augmenting never
+unmatches a matched vertex, so higher-class grants are preserved.
+"""
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.allocators.base import Allocator, RequestMatrix
+
+
+class AugmentingPathsAllocator(Allocator):
+    """Maximum-cardinality bipartite matching allocator."""
+
+    def __init__(self, num_inputs: int, num_outputs: int) -> None:
+        super().__init__(num_inputs, num_outputs)
+        self._rotation = 0
+
+    def allocate(self, requests: RequestMatrix) -> Dict[int, int]:
+        self._validate(requests)
+        match_of_output: Dict[int, int] = {}  # output -> input
+        match_of_input: Dict[int, int] = {}  # input -> output
+
+        classes = sorted({p for p in requests.values()}, reverse=True)
+        adjacency: Dict[int, list] = defaultdict(list)
+        frozen: set = set()
+        for prio in classes:
+            for (i, o), p in requests.items():
+                if p == prio:
+                    adjacency[i].append(o)
+            order = self._input_order(adjacency)
+            for i in order:
+                if i not in match_of_input:
+                    self._augment(
+                        i, adjacency, match_of_input, match_of_output, set(), frozen
+                    )
+            # Matches made in a higher class may not be rerouted by
+            # augmenting paths of a lower class: strict priority.
+            frozen.update(match_of_input)
+        self._rotation += 1
+        return dict(match_of_input)
+
+    def _input_order(self, adjacency) -> list:
+        inputs = sorted(adjacency)
+        if not inputs:
+            return inputs
+        k = self._rotation % len(inputs)
+        return inputs[k:] + inputs[:k]
+
+    def _augment(
+        self, i, adjacency, match_of_input, match_of_output, visited, frozen
+    ) -> bool:
+        """DFS for an augmenting path from unmatched input ``i``."""
+        for o in adjacency[i]:
+            if o in visited:
+                continue
+            visited.add(o)
+            holder = match_of_output.get(o)
+            if holder is not None and holder in frozen:
+                continue
+            if holder is None or self._augment(
+                holder, adjacency, match_of_input, match_of_output, visited, frozen
+            ):
+                match_of_output[o] = i
+                match_of_input[i] = o
+                return True
+        return False

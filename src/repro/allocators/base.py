@@ -1,0 +1,46 @@
+"""Allocator interface and shared helpers."""
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Tuple
+
+# (input_port, output_port) -> priority; higher priority wins.
+RequestMatrix = Mapping[Tuple[int, int], int]
+
+
+class Allocator(ABC):
+    """Computes a conflict-free input->output assignment each cycle.
+
+    Allocators are stateful (round-robin pointers, wavefront priority
+    diagonal) and are meant to be called once per simulated cycle.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int) -> None:
+        if num_inputs <= 0 or num_outputs <= 0:
+            raise ValueError("allocator dimensions must be positive")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+
+    @abstractmethod
+    def allocate(self, requests: RequestMatrix) -> Dict[int, int]:
+        """Return grants as ``{input_port: output_port}``.
+
+        The grant set is conflict-free: no input or output appears twice.
+        Requests with higher priority always beat lower-priority requests
+        at any arbitration point they share.
+        """
+
+    def _validate(self, requests: RequestMatrix) -> None:
+        for (i, o) in requests:
+            if not 0 <= i < self.num_inputs:
+                raise ValueError(f"input port {i} out of range [0, {self.num_inputs})")
+            if not 0 <= o < self.num_outputs:
+                raise ValueError(f"output port {o} out of range [0, {self.num_outputs})")
+
+
+def is_conflict_free(grants: Mapping[int, int]) -> bool:
+    """True if no output port is granted to two inputs.
+
+    Inputs are dict keys and therefore unique by construction.
+    """
+    outputs = list(grants.values())
+    return len(outputs) == len(set(outputs))

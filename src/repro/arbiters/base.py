@@ -1,0 +1,40 @@
+"""Common arbiter interface."""
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+
+class Arbiter(ABC):
+    """Selects at most one winner among integer request indices.
+
+    The request space is the half-open range ``[0, size)``. Arbiters are
+    stateful: the selection policy may depend on the history of previous
+    grants. State updates are explicit (:meth:`update`) so that callers
+    can implement policies such as iSLIP's "update pointers only on
+    accepted grants".
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"arbiter size must be positive, got {size}")
+        self.size = size
+
+    @abstractmethod
+    def select(self, requests: Iterable[int]) -> Optional[int]:
+        """Return the winning request index, or ``None`` if no requests.
+
+        ``requests`` is an iterable of requesting indices; indices outside
+        ``[0, size)`` raise :class:`ValueError`. The arbiter state is NOT
+        modified; call :meth:`update` with the winner to commit.
+        """
+
+    @abstractmethod
+    def update(self, granted: int) -> None:
+        """Commit a grant, updating the arbitration state."""
+
+    def _validate(self, requests: Iterable[int]) -> list:
+        reqs = list(requests)
+        for r in reqs:
+            if not 0 <= r < self.size:
+                raise ValueError(f"request index {r} out of range [0, {self.size})")
+        return reqs

@@ -1,0 +1,41 @@
+"""Matrix (least-recently-served) arbiter."""
+
+from typing import Iterable, Optional
+
+from repro.arbiters.base import Arbiter
+
+
+class MatrixArbiter(Arbiter):
+    """Least-recently-served arbiter.
+
+    Maintains a priority matrix ``w`` where ``w[i][j]`` means requester
+    ``i`` beats requester ``j``. The winner is the requester that beats
+    every other active requester. On :meth:`update` the winner yields
+    priority to everyone else, which yields an exact least-recently-served
+    order (Dally & Towles, 2003, section 18.5).
+    """
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        # Initially, lower indices beat higher indices.
+        self._beats = [[i < j for j in range(size)] for i in range(size)]
+
+    def select(self, requests: Iterable[int]) -> Optional[int]:
+        reqs = self._validate(requests)
+        if not reqs:
+            return None
+        req_set = set(reqs)
+        for i in req_set:
+            if all(self._beats[i][j] for j in req_set if j != i):
+                return i
+        # The beats relation restricted to any subset always has a unique
+        # maximal element, so this is unreachable.
+        raise AssertionError("matrix arbiter found no winner")
+
+    def update(self, granted: int) -> None:
+        if not 0 <= granted < self.size:
+            raise ValueError(f"granted index {granted} out of range [0, {self.size})")
+        for j in range(self.size):
+            if j != granted:
+                self._beats[granted][j] = False
+                self._beats[j][granted] = True

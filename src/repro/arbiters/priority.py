@@ -1,0 +1,46 @@
+"""Priority-class filtering for arbiters.
+
+The paper's allocators "take into account priorities" (Section 3): a
+request in a higher priority class always beats any request in a lower
+class; fairness policies (round-robin pointers, matrix state) only break
+ties within a class. ``highest_priority_subset`` implements the filter
+and :class:`PriorityArbiter` composes it with any base arbiter.
+"""
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.arbiters.base import Arbiter
+
+
+def highest_priority_subset(priorities: Mapping[int, int]) -> Tuple[list, int]:
+    """Return (indices in the highest priority class, that priority).
+
+    ``priorities`` maps request index -> priority (higher wins). Raises
+    :class:`ValueError` on an empty mapping.
+    """
+    if not priorities:
+        raise ValueError("no requests")
+    best = max(priorities.values())
+    return [idx for idx, p in priorities.items() if p == best], best
+
+
+class PriorityArbiter:
+    """Wraps a base arbiter with strict priority classes.
+
+    ``select`` takes a mapping of request index -> priority and
+    arbitrates only among the highest class present. State updates are
+    forwarded to the base arbiter.
+    """
+
+    def __init__(self, base: Arbiter) -> None:
+        self.base = base
+        self.size = base.size
+
+    def select(self, priorities: Mapping[int, int]) -> Optional[int]:
+        if not priorities:
+            return None
+        subset, _ = highest_priority_subset(priorities)
+        return self.base.select(subset)
+
+    def update(self, granted: int) -> None:
+        self.base.update(granted)

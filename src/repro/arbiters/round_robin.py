@@ -1,0 +1,41 @@
+"""Round-robin arbiter with iSLIP pointer semantics."""
+
+from typing import Iterable, Optional
+
+from repro.arbiters.base import Arbiter
+
+
+class RoundRobinArbiter(Arbiter):
+    """Round-robin arbiter.
+
+    The pointer designates the highest-priority request index. On
+    :meth:`update`, the pointer moves to one beyond the granted index,
+    which is the iSLIP priority-update rule (McKeown, 1999): the granted
+    requester becomes the lowest priority for the next allocation.
+    """
+
+    def __init__(self, size: int, start: int = 0) -> None:
+        super().__init__(size)
+        if not 0 <= start < size:
+            raise ValueError(f"start pointer {start} out of range [0, {size})")
+        self.pointer = start
+
+    def select(self, requests: Iterable[int]) -> Optional[int]:
+        reqs = self._validate(requests)
+        if not reqs:
+            return None
+        req_set = set(reqs)
+        for offset in range(self.size):
+            idx = (self.pointer + offset) % self.size
+            if idx in req_set:
+                return idx
+        return None
+
+    def update(self, granted: int) -> None:
+        if not 0 <= granted < self.size:
+            raise ValueError(f"granted index {granted} out of range [0, {self.size})")
+        self.pointer = (granted + 1) % self.size
+
+    def reset(self) -> None:
+        """Return the pointer to index 0."""
+        self.pointer = 0

@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run --topology mesh --pattern uniform --rate 0.45 \\
+        --chaining same_input
+    python -m repro sweep --rates 0.1 0.2 0.3 0.4 --chaining any_input
+    python -m repro saturation --pattern tornado
+    python -m repro cmp --workload blackscholes --chaining same_input \\
+        --starvation-threshold 8
+    python -m repro cost --radix 10
+"""
+
+import argparse
+import sys
+
+from repro.core.cost_model import AllocatorCostModel
+from repro.network.config import NetworkConfig
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import find_saturation
+from repro.traffic import BimodalLength, FixedLength
+
+
+def _add_network_args(parser):
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="load a NetworkConfig JSON file "
+                             "(other network flags are ignored)")
+    parser.add_argument("--topology", default="mesh",
+                        choices=["mesh", "fbfly", "torus", "cmesh"])
+    parser.add_argument("--mesh-k", type=int, default=8)
+    parser.add_argument("--allocator", default="islip1",
+                        help="islip<k>, oslip<k>, pim<k>, wavefront, augmenting")
+    parser.add_argument("--pc-allocator", default="islip1")
+    parser.add_argument("--chaining", default="disabled",
+                        choices=["disabled", "same_vc", "same_input", "any_input"])
+    parser.add_argument("--starvation-threshold", type=int, default=None)
+    parser.add_argument("--age-period", type=int, default=None)
+    parser.add_argument("--num-vcs", type=int, default=4)
+    parser.add_argument("--vc-buf-depth", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_traffic_args(parser):
+    parser.add_argument("--pattern", default="uniform")
+    parser.add_argument("--packet-length", type=int, default=1)
+    parser.add_argument("--bimodal", action="store_true",
+                        help="1-/5-flit request-reply mix instead of fixed length")
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--measure", type=int, default=1500)
+    parser.add_argument("--drain", type=int, default=1000)
+
+
+def _config_from(args):
+    if getattr(args, "config", None):
+        return NetworkConfig.load(args.config)
+    routing = "ugal" if args.topology == "fbfly" else "dor"
+    return NetworkConfig(
+        topology=args.topology,
+        mesh_k=args.mesh_k,
+        routing=routing,
+        allocator=args.allocator,
+        pc_allocator=args.pc_allocator,
+        chaining=args.chaining,
+        starvation_threshold=args.starvation_threshold,
+        age_period=args.age_period,
+        num_vcs=args.num_vcs,
+        vc_buf_depth=args.vc_buf_depth,
+        seed=args.seed,
+    )
+
+
+def _lengths_from(args):
+    return BimodalLength(1, 5) if args.bimodal else FixedLength(args.packet_length)
+
+
+def _print_result(result, out):
+    cs = result.chain_stats
+    out.write(
+        f"offered rate      : {result.offered_rate:.3f} flits/node/cycle\n"
+        f"accepted (mean)   : {result.avg_throughput:.3f}\n"
+        f"accepted (min src): {result.min_throughput:.3f}\n"
+        f"packet latency    : mean {result.packet_latency.mean:.1f}"
+        f"  p50 {result.packet_latency.p50:.0f}"
+        f"  p99 {result.packet_latency.p99:.0f}"
+        f"  max {result.packet_latency.max:.0f}\n"
+        f"blocking cycles   : mean {result.blocking.mean:.2f} per packet\n"
+    )
+    if cs.total_chains:
+        out.write(
+            f"chains            : {cs.total_chains}"
+            f" (same VC {cs.same_input_same_vc},"
+            f" same input {cs.same_input_other_vc},"
+            f" other input {cs.other_input};"
+            f" conflicts {cs.conflicts})\n"
+        )
+
+
+def cmd_run(args, out):
+    result = run_simulation(
+        _config_from(args), pattern=args.pattern, rate=args.rate,
+        lengths=_lengths_from(args), warmup=args.warmup,
+        measure=args.measure, drain=args.drain,
+    )
+    _print_result(result, out)
+    return 0
+
+
+def cmd_sweep(args, out):
+    out.write(f"{'rate':>6} {'accepted':>9} {'min-src':>8} {'latency':>8}\n")
+    for rate in args.rates:
+        result = run_simulation(
+            _config_from(args), pattern=args.pattern, rate=rate,
+            lengths=_lengths_from(args), warmup=args.warmup,
+            measure=args.measure, drain=0,
+        )
+        out.write(
+            f"{rate:>6.2f} {result.avg_throughput:>9.3f}"
+            f" {result.min_throughput:>8.3f}"
+            f" {result.packet_latency.mean:>8.1f}\n"
+        )
+    return 0
+
+
+def cmd_saturation(args, out):
+    rate, tp = find_saturation(
+        lambda: _config_from(args), pattern=args.pattern,
+        lengths=_lengths_from(args), warmup=args.warmup,
+        measure=args.measure, drain=0,
+    )
+    out.write(f"saturation rate   : {rate:.3f} flits/node/cycle\n")
+    out.write(f"accepted at sat   : {tp:.3f}\n")
+    return 0
+
+
+def cmd_cmp(args, out):
+    from repro.cmp import run_application
+
+    system = run_application(
+        args.workload, _config_from(args),
+        warmup=args.warmup, measure=args.measure, seed=args.seed,
+    )
+    out.write(f"workload          : {args.workload}\n")
+    out.write(f"IPC               : {system.aggregate_ipc():.4f}\n")
+    out.write(f"network load      : {system.stats.avg_throughput():.3f}"
+              f" flits/node/cycle\n")
+    out.write(f"single-flit msgs  : {100 * system.single_flit_fraction():.0f}%\n")
+    return 0
+
+
+def cmd_cost(args, out):
+    model = AllocatorCostModel(args.radix)
+    out.write(f"{'allocator':<16} {'area':>6} {'power':>6} {'delay':>6}\n")
+    for r in model.table():
+        out.write(f"{r.name:<16} {r.area:>6.2f} {r.power:>6.2f} {r.delay:>6.2f}\n")
+    rel = model.wavefront_vs_packet_chaining()
+    out.write(f"wavefront vs packet chaining: {rel.power:.2f}x power,"
+              f" {rel.area:.2f}x area, {rel.delay:.2f}x delay\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Packet chaining (MICRO 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="one simulation, full result summary")
+    _add_network_args(p)
+    _add_traffic_args(p)
+    p.add_argument("--rate", type=float, default=0.4)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="injection-rate sweep")
+    _add_network_args(p)
+    _add_traffic_args(p)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[0.1, 0.2, 0.3, 0.4, 0.5])
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("saturation", help="binary-search the saturation rate")
+    _add_network_args(p)
+    _add_traffic_args(p)
+    p.set_defaults(func=cmd_saturation)
+
+    p = sub.add_parser("cmp", help="CMP application study (Table 1 setup)")
+    _add_network_args(p)
+    p.add_argument("--workload", default="blackscholes")
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--measure", type=int, default=1200)
+    p.set_defaults(func=cmd_cmp)
+
+    p = sub.add_parser("cost", help="Section 4.9 allocator cost model")
+    p.add_argument("--radix", type=int, default=5)
+    p.set_defaults(func=cmd_cost)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Cache-coherent CMP substrate for the application study (Table 1).
+
+The paper evaluates packet chaining on a 64-core cache-coherent CMP
+running PARSEC benchmarks under a proprietary Pin-based simulator. This
+package is the documented substitution (DESIGN.md section 3.4): a
+timing-model CMP whose cores execute parameterized synthetic
+instruction streams through real L1/L2 caches and a directory MESI
+protocol over the same simulated network, so the mechanism under test
+(short coherence packets benefiting from chaining) is exercised
+end-to-end.
+"""
+
+from repro.cmp.cache import SetAssociativeCache
+from repro.cmp.coherence import Directory, Message, MessageType
+from repro.cmp.workloads import WORKLOADS, WorkloadProfile
+from repro.cmp.core_model import Core
+from repro.cmp.system import CMPConfig, CMPSystem, run_application
+
+__all__ = [
+    "SetAssociativeCache",
+    "Directory",
+    "Message",
+    "MessageType",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "Core",
+    "CMPConfig",
+    "CMPSystem",
+    "run_application",
+]

@@ -1,0 +1,67 @@
+"""Set-associative cache with LRU replacement (tags only).
+
+Used for the private L1s (8KB, 4-way, 32B lines -> 64 sets) and the
+shared L2 slices (32KB per core, 4-way). Only the tag array is modeled;
+the simulator never moves data bytes.
+"""
+
+from collections import OrderedDict
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line addresses."""
+
+    def __init__(self, size_bytes, ways, line_bytes=32):
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("cache size must be a multiple of ways * line size")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache has no sets")
+        # Per set: OrderedDict mapping line address -> dirty flag,
+        # ordered least- to most-recently used.
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _set_of(self, line):
+        return self._sets[line % self.num_sets]
+
+    def lookup(self, line, touch=True):
+        """True on hit; refreshes LRU order if ``touch``."""
+        s = self._set_of(line)
+        if line not in s:
+            return False
+        if touch:
+            s.move_to_end(line)
+        return True
+
+    def is_dirty(self, line):
+        s = self._set_of(line)
+        return s.get(line, False)
+
+    def insert(self, line, dirty=False):
+        """Insert a line; returns (evicted_line, evicted_dirty) or None."""
+        s = self._set_of(line)
+        if line in s:
+            s[line] = s[line] or dirty
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.ways:
+            victim = s.popitem(last=False)  # LRU
+        s[line] = dirty
+        return victim
+
+    def mark_dirty(self, line):
+        s = self._set_of(line)
+        if line in s:
+            s[line] = True
+            s.move_to_end(line)
+
+    def invalidate(self, line):
+        """Drop a line; returns True if it was present."""
+        s = self._set_of(line)
+        return s.pop(line, None) is not None
+
+    def occupancy(self):
+        return sum(len(s) for s in self._sets)

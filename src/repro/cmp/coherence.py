@@ -1,0 +1,190 @@
+"""Directory-based MESI-style coherence protocol.
+
+One directory + L2 slice per core (Section 3); lines are home-mapped by
+interleaving line addresses across the 64 nodes. The protocol generates
+the paper's traffic character: short (single-flit at a 64-bit datapath)
+control messages — requests, forwards, invalidations, acks — and 5-flit
+data messages carrying 32-byte cache lines.
+
+Flows (R = requester, H = home directory, O = owner, M = memory ctrl):
+
+- GETS, dir I, L2 hit:   R->H GETS;  H->R DATA.
+- GETS, dir I, L2 miss:  R->H GETS;  H->M MEMREQ;  M->R DATA (after
+  DRAM latency); line filled into H's L2.
+- GETS, dir S:           R->H GETS;  H->R DATA;  R added to sharers.
+- GETS, dir M:           R->H GETS;  H->O FWD_GETS;  O->R DATA;
+  O->H WB (data);  dir -> S {O, R}.
+- GETX, dir I/S:         R->H GETX;  H->sharer INV each;
+  sharer->R INV_ACK each;  H->R DATA (or via memory);  dir -> M {R}.
+- GETX, dir M:           R->H GETX;  H->O FWD_GETX;  O->R DATA
+  (O's L1 copy invalidated);  dir owner -> R.
+- dirty L1 eviction:     R->H WB (data);  owner cleared, L2 filled.
+
+The requesting thread resumes when its DATA message arrives; INV_ACKs
+are modeled as network traffic (they are what makes short packets 53%
+of the mix) but do not gate completion, which keeps the directory
+non-blocking without transient-state deadlocks.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class MessageType(enum.Enum):
+    GETS = "gets"  # read request (control)
+    GETX = "getx"  # write/upgrade request (control)
+    FWD_GETS = "fwd_gets"  # forward read to owner (control)
+    FWD_GETX = "fwd_getx"  # forward write to owner (control)
+    INV = "inv"  # invalidate a sharer (control)
+    INV_ACK = "inv_ack"  # sharer's ack to requester (control)
+    DATA = "data"  # cache line (data)
+    WB = "wb"  # writeback / downgrade with data (data)
+    MEMREQ = "memreq"  # directory -> memory controller (control)
+
+    @property
+    def carries_data(self):
+        return self in (MessageType.DATA, MessageType.WB)
+
+
+@dataclass
+class Message:
+    mtype: MessageType
+    line: int
+    src: int  # terminal (node) index
+    dest: int
+    #: For DATA: the core whose request this satisfies (dest).
+    #: For FWD_*: the original requester the owner must send DATA to.
+    requester: Optional[int] = None
+    #: True when this DATA completes a write (GETX) transaction.
+    exclusive: bool = False
+
+
+class DirectoryState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class DirEntry:
+    state: DirectoryState = DirectoryState.INVALID
+    owner: Optional[int] = None
+    sharers: set = field(default_factory=set)
+
+
+class Directory:
+    """The directory + L2 slice co-located at one node.
+
+    ``handle`` consumes a request message and returns the list of
+    messages the node emits in response. Directory state is updated
+    synchronously, so later requests observe the new owner/sharers.
+    """
+
+    def __init__(self, node, l2_cache, mem_controller_of, num_nodes=64):
+        self.node = node
+        self.l2 = l2_cache
+        self.mem_controller_of = mem_controller_of  # fn(line) -> terminal
+        # Lines are home-interleaved on their low bits, so the slice
+        # indexes its sets with the bits *above* the interleaving bits;
+        # indexing with the raw line would touch only sets congruent to
+        # this node and waste almost the whole slice.
+        self.num_nodes = num_nodes
+        self.entries = {}
+
+    def _slice_line(self, line):
+        return line // self.num_nodes
+
+    def l2_lookup(self, line, touch=True):
+        return self.l2.lookup(self._slice_line(line), touch)
+
+    def l2_insert(self, line, dirty=False):
+        return self.l2.insert(self._slice_line(line), dirty)
+
+    def entry(self, line):
+        if line not in self.entries:
+            self.entries[line] = DirEntry()
+        return self.entries[line]
+
+    def handle(self, msg):
+        if msg.mtype is MessageType.GETS:
+            return self._handle_gets(msg)
+        if msg.mtype is MessageType.GETX:
+            return self._handle_getx(msg)
+        if msg.mtype is MessageType.WB:
+            return self._handle_wb(msg)
+        raise ValueError(f"directory cannot handle {msg.mtype}")
+
+    def _data(self, line, dest, exclusive=False):
+        return Message(MessageType.DATA, line, self.node, dest,
+                       requester=dest, exclusive=exclusive)
+
+    def _handle_gets(self, msg):
+        e = self.entry(msg.line)
+        r = msg.src
+        if e.state is DirectoryState.MODIFIED:
+            owner = e.owner
+            e.state = DirectoryState.SHARED
+            e.sharers = {owner, r}
+            e.owner = None
+            return [
+                Message(MessageType.FWD_GETS, msg.line, self.node, owner,
+                        requester=r)
+            ]
+        # I or S: serve from the L2 slice if present, else from memory.
+        e.state = DirectoryState.SHARED
+        e.sharers.add(r)
+        if self.l2_lookup(msg.line):
+            return [self._data(msg.line, r)]
+        self.l2_insert(msg.line)
+        return [
+            Message(MessageType.MEMREQ, msg.line, self.node,
+                    self.mem_controller_of(msg.line), requester=r)
+        ]
+
+    def _handle_getx(self, msg):
+        e = self.entry(msg.line)
+        r = msg.src
+        out = []
+        if e.state is DirectoryState.MODIFIED:
+            owner = e.owner
+            e.owner = r
+            e.sharers = set()
+            if owner == r:  # upgrade race: already owner
+                return [self._data(msg.line, r, exclusive=True)]
+            return [
+                Message(MessageType.FWD_GETX, msg.line, self.node, owner,
+                        requester=r)
+            ]
+        # Invalidate all other sharers.
+        for sharer in sorted(e.sharers):
+            if sharer != r:
+                out.append(
+                    Message(MessageType.INV, msg.line, self.node, sharer,
+                            requester=r)
+                )
+        e.state = DirectoryState.MODIFIED
+        e.owner = r
+        e.sharers = set()
+        if self.l2_lookup(msg.line):
+            out.append(self._data(msg.line, r, exclusive=True))
+        else:
+            self.l2_insert(msg.line)
+            out.append(
+                Message(MessageType.MEMREQ, msg.line, self.node,
+                        self.mem_controller_of(msg.line), requester=r,
+                        exclusive=True)
+            )
+        return out
+
+    def _handle_wb(self, msg):
+        e = self.entry(msg.line)
+        if e.state is DirectoryState.MODIFIED and e.owner == msg.src:
+            e.state = DirectoryState.INVALID
+            e.owner = None
+        elif e.state is DirectoryState.SHARED:
+            e.sharers.discard(msg.src)
+            if not e.sharers:
+                e.state = DirectoryState.INVALID
+        self.l2_insert(msg.line, dirty=True)
+        return []

@@ -1,0 +1,161 @@
+"""Two-way multithreaded core model with memory-level parallelism.
+
+Cores are "superscalar, out-of-order RISC CPUs ... two-way multithreaded
+and allow a large number of outstanding memory requests" clocked 4x
+faster than the network (Section 3). Each core has two thread contexts
+sharing an issue width of two instructions per core cycle. An L1 miss
+allocates an MSHR and — because the core is out-of-order — the thread
+usually keeps issuing; it stalls only when the miss is *dependent*
+(a configurable fraction, standing in for loads feeding the critical
+path) or when its MSHRs are exhausted. IPC is committed instructions
+per core cycle, the paper's metric.
+"""
+
+from repro.cmp.cache import SetAssociativeCache
+from repro.cmp.coherence import Message, MessageType
+
+#: Sentinel for a thread stalled on MSHR exhaustion rather than a line.
+_STALL_CAP = object()
+
+
+class Thread:
+    __slots__ = ("tid", "blocked_on", "outstanding", "blocked_cycles")
+
+    def __init__(self, tid):
+        self.tid = tid
+        self.blocked_on = None  # None | line | _STALL_CAP
+        self.outstanding = set()  # lines with an MSHR allocated
+        self.blocked_cycles = 0
+
+
+class Core:
+    """One CMP node: two hardware threads + private L1 + MSHRs."""
+
+    ISSUE_WIDTH = 2
+    THREADS = 2
+
+    def __init__(self, node, profile, rng, l1=None,
+                 l1_bytes=8 * 1024, l1_ways=4, line_bytes=32,
+                 max_outstanding=8):
+        self.node = node
+        self.profile = profile
+        self.rng = rng
+        self.l1 = l1 or SetAssociativeCache(l1_bytes, l1_ways, line_bytes)
+        self.threads = [Thread(i) for i in range(self.THREADS)]
+        self.max_outstanding = max_outstanding
+        self.instructions = 0
+        self.core_cycles = 0
+        # Private address region: disjoint per (node, thread). The
+        # stride is 64 * 16411 lines: a multiple of the 64-way home
+        # interleave (regions start at home 0 like real page-aligned
+        # allocations) whose slice-local stride 16411 is odd, so
+        # different threads' lines cycle through all L2 sets instead of
+        # aliasing onto a few.
+        self._private_base = [
+            (node * self.THREADS + t) * 64 * 16411 for t in range(self.THREADS)
+        ]
+
+    # --- address generation ------------------------------------------------
+
+    def _pick_line(self, thread):
+        prof = self.profile
+        if self.rng.random() < prof.shared_fraction:
+            # Shared-region lines are home-mapped all over the chip.
+            return (1 << 28) + self.rng.randrange(prof.shared_lines)
+        return self._private_base[thread.tid] + self.rng.randrange(prof.working_set)
+
+    # --- execution ----------------------------------------------------------
+
+    def step_core_cycle(self):
+        """Issue up to one instruction per thread; return request messages."""
+        self.core_cycles += 1
+        requests = []
+        mem_p = self.profile.mem_probability(self.core_cycles)
+        for thread in self.threads:
+            if thread.blocked_on is not None:
+                thread.blocked_cycles += 1
+                continue
+            self.instructions += 1
+            if self.rng.random() >= mem_p:
+                continue
+            line = self._pick_line(thread)
+            is_write = self.rng.random() < self.profile.write_fraction
+            if self.l1.lookup(line):
+                if is_write:
+                    self.l1.mark_dirty(line)
+                continue  # L1 hit: single-cycle, no traffic
+            if line in thread.outstanding:
+                continue  # MSHR merge: request already in flight
+            # L1 miss: issue a coherence request.
+            mtype = MessageType.GETX if is_write else MessageType.GETS
+            requests.append(Message(mtype, line, self.node, self._home(line)))
+            thread.outstanding.add(line)
+            if self.rng.random() < self.profile.dependency_fraction:
+                thread.blocked_on = line  # critical-path load: stall
+            elif len(thread.outstanding) >= self.max_outstanding:
+                thread.blocked_on = _STALL_CAP
+        return requests
+
+    def _home(self, line):
+        raise NotImplementedError  # installed by CMPSystem
+
+    # --- message handling -----------------------------------------------
+
+    def receive(self, msg):
+        """Handle a message delivered to this node's core/L1.
+
+        Returns follow-up messages (owner forwards, inv acks, victim
+        writebacks).
+        """
+        if msg.mtype is MessageType.DATA:
+            return self._receive_data(msg)
+        if msg.mtype is MessageType.FWD_GETS:
+            # Downgrade: send the line to the requester and write back.
+            self.l1.insert(msg.line, dirty=False)
+            return [
+                Message(MessageType.DATA, msg.line, self.node, msg.requester,
+                        requester=msg.requester),
+                Message(MessageType.WB, msg.line, self.node,
+                        self._home(msg.line)),
+            ]
+        if msg.mtype is MessageType.FWD_GETX:
+            self.l1.invalidate(msg.line)
+            return [
+                Message(MessageType.DATA, msg.line, self.node, msg.requester,
+                        requester=msg.requester, exclusive=True),
+            ]
+        if msg.mtype is MessageType.INV:
+            self.l1.invalidate(msg.line)
+            return [
+                Message(MessageType.INV_ACK, msg.line, self.node, msg.requester)
+            ]
+        if msg.mtype is MessageType.INV_ACK:
+            return []  # counted as traffic; does not gate completion
+        raise ValueError(f"core cannot handle {msg.mtype}")
+
+    def _receive_data(self, msg):
+        victim = self.l1.insert(msg.line, dirty=msg.exclusive)
+        out = []
+        if victim is not None and victim[1]:  # dirty eviction
+            out.append(
+                Message(MessageType.WB, victim[0], self.node,
+                        self._home(victim[0]))
+            )
+        for thread in self.threads:
+            thread.outstanding.discard(msg.line)
+            if thread.blocked_on == msg.line:
+                thread.blocked_on = None
+            elif (
+                thread.blocked_on is _STALL_CAP
+                and len(thread.outstanding) < self.max_outstanding
+            ):
+                thread.blocked_on = None
+        return out
+
+    # --- metrics -----------------------------------------------------------
+
+    @property
+    def ipc(self):
+        if self.core_cycles == 0:
+            return 0.0
+        return self.instructions / self.core_cycles

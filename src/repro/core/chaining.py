@@ -1,0 +1,198 @@
+"""Packet chaining: schemes, request construction, and statistics.
+
+Packet chaining (Section 2.2) reuses the switch connection of a
+departing tail flit for a waiting packet destined to the same output,
+so the switch allocator never has to rebuild that match. The router
+owns the cycle-by-cycle mechanics; this module owns the policy:
+
+- which (input, VC) pairs may chain onto a given connection
+  (:class:`ChainingScheme`, Section 2.3);
+- the two PC priority classes (definite vs. speculative requests,
+  Section 2.4);
+- the counters behind Figure 11 (:class:`ChainStats`).
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class ChainingScheme(enum.Enum):
+    """The three chaining variations of Section 2.3 (plus disabled)."""
+
+    DISABLED = "disabled"
+    #: Only the same input VC as the packet holding the connection.
+    SAME_VC = "same_vc"
+    #: Any eligible VC of the same input as the packet holding the connection.
+    SAME_INPUT = "same_input"
+    #: Eligible packets in any input and any VC (full PC allocator).
+    ANY_INPUT = "any_input"
+
+    @property
+    def enabled(self):
+        return self is not ChainingScheme.DISABLED
+
+    @classmethod
+    def parse(cls, value):
+        """Accept a ChainingScheme, its value string, or None."""
+        if value is None:
+            return cls.DISABLED
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+#: PC request priority classes (Section 2.4): requests that may have to
+#: be invalidated by same-cycle switch-allocator decisions bid in the
+#: lower class so they cannot take resources from definite requests.
+PC_PRIORITY_DEFINITE = 1
+PC_PRIORITY_SPECULATIVE = 0
+
+
+@dataclass
+class ChainStats:
+    """Counters for Figure 11 and Section 4.6.
+
+    All counts are PC allocator grants that survived conflict
+    detection, broken down by where the chained packet came from
+    relative to the packet that held the connection.
+    """
+
+    same_input_same_vc: int = 0
+    same_input_other_vc: int = 0
+    other_input: int = 0
+    #: PC grants dropped because the switch allocator granted the same
+    #: input (or the speculated SA outcome did not happen).
+    conflicts: int = 0
+    #: PC grants dropped because the speculated event (tail winning SA,
+    #: own-input connection releasing) did not occur.
+    speculation_failures: int = 0
+    cycles: int = 0
+
+    def record_chain(self, same_input, same_vc):
+        if same_input and same_vc:
+            self.same_input_same_vc += 1
+        elif same_input:
+            self.same_input_other_vc += 1
+        else:
+            self.other_input += 1
+
+    @property
+    def total_chains(self):
+        return self.same_input_same_vc + self.same_input_other_vc + self.other_input
+
+    def merged(self, other):
+        """Return a new ChainStats with summed counters."""
+        return ChainStats(
+            same_input_same_vc=self.same_input_same_vc + other.same_input_same_vc,
+            same_input_other_vc=self.same_input_other_vc + other.same_input_other_vc,
+            other_input=self.other_input + other.other_input,
+            conflicts=self.conflicts + other.conflicts,
+            speculation_failures=self.speculation_failures + other.speculation_failures,
+            cycles=max(self.cycles, other.cycles),
+        )
+
+
+class PCCandidate:
+    """A waiting packet that may chain onto a releasing connection.
+
+    ``speculative`` marks the lower priority class (Section 2.4): the
+    chain is only valid if this cycle's switch allocation produces the
+    event named in ``requires``:
+
+    - ``("sa_tail", output)`` — a connectionless tail flit must win SA
+      for ``output`` this cycle, forming the connection to chain onto;
+    - ``("own_release", input)`` — the candidate's own input port is
+      part of another connection that must release this cycle.
+
+    ``flit`` is the candidate's head (or parked body) flit; validation
+    checks the flit itself rather than a buffer position because the
+    departing tail ahead of it shifts positions within the cycle.
+    """
+
+    __slots__ = ("input_port", "vc", "output_port", "priority", "flit",
+                 "speculative", "requires")
+
+    def __init__(self, input_port, vc, output_port, priority, flit,
+                 speculative=False, requires=()):
+        self.input_port = input_port
+        self.vc = vc
+        self.output_port = output_port
+        self.priority = priority
+        self.flit = flit
+        self.speculative = speculative
+        self.requires = requires
+
+
+def scheme_admits(scheme, cand_input, cand_vc, holder_input, holder_vc):
+    """Does ``scheme`` allow (cand_input, cand_vc) to chain onto a
+    connection held (or being formed) by (holder_input, holder_vc)?"""
+    if scheme is ChainingScheme.DISABLED:
+        return False
+    if scheme is ChainingScheme.SAME_VC:
+        return cand_input == holder_input and cand_vc == holder_vc
+    if scheme is ChainingScheme.SAME_INPUT:
+        return cand_input == holder_input
+    return True  # ANY_INPUT
+
+
+class PCRequestBuilder:
+    """Builds the OR-reduced PC request matrix for one router cycle.
+
+    The router feeds it candidates; it applies the scheme filter and
+    OR-reduces to (input, output) -> priority for the PC allocator,
+    remembering per-pair candidate lists so a port-level grant can be
+    mapped back to a VC (highest priority first, then round-robin by
+    the router's per-input chain arbiters).
+    """
+
+    def __init__(self, scheme):
+        self.scheme = ChainingScheme.parse(scheme)
+        self.candidates = []
+
+    def admit(self, candidate, holder_input, holder_vc):
+        """Apply the scheme filter for a candidate against the holder.
+
+        ``holder_input``/``holder_vc`` identify the packet that holds
+        (or is forming) the connection being chained onto.
+        """
+        return scheme_admits(
+            self.scheme, candidate.input_port, candidate.vc, holder_input, holder_vc
+        )
+
+    def add(self, candidate):
+        self.candidates.append(candidate)
+
+    #: Packet/age priorities are honored *within* each PC class
+    #: (Section 2.4); the class separation must dominate them.
+    CLASS_STRIDE = 1 << 20
+
+    def request_matrix(self):
+        """OR-reduce candidates to {(input, output): priority}.
+
+        Priority = PC class (definite vs speculative) with the packet's
+        own priority (e.g. age-escalated) as a tie-breaker inside the
+        class.
+        """
+        matrix = {}
+        for cand in self.candidates:
+            pair = (cand.input_port, cand.output_port)
+            pc_class = (
+                PC_PRIORITY_SPECULATIVE if cand.speculative else PC_PRIORITY_DEFINITE
+            )
+            prio = pc_class * self.CLASS_STRIDE + min(
+                max(cand.priority, 0), self.CLASS_STRIDE - 1
+            )
+            existing = matrix.get(pair)
+            if existing is None or prio > existing:
+                matrix[pair] = prio
+        return matrix
+
+    def candidates_for(self, input_port, output_port):
+        """Candidates behind a port-level grant, definite class first."""
+        matches = [
+            c
+            for c in self.candidates
+            if c.input_port == input_port and c.output_port == output_port
+        ]
+        matches.sort(key=lambda c: (c.speculative, -c.priority))
+        return matches

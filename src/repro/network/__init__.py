@@ -1,0 +1,26 @@
+"""Cycle-accurate NoC model: flits, buffers, channels, routers, network.
+
+This package is the BookSim-equivalent substrate the paper's evaluation
+runs on: virtual-channel flow control (Dally, 1992), credit-based
+backpressure with a two-cycle credit loop, a two-stage router pipeline
+with look-ahead routing, incremental allocation (connection holding, as
+in the Alpha 21364 router study and Kumar et al.'s single-cycle router),
+a combined switch/VC allocator, and the paper's packet-chaining stage.
+"""
+
+from repro.network.flit import Flit, Packet
+from repro.network.buffer import VirtualChannel
+from repro.network.channel import PipelinedChannel
+from repro.network.config import NetworkConfig
+from repro.network.router import Router
+from repro.network.network import Network
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "VirtualChannel",
+    "PipelinedChannel",
+    "NetworkConfig",
+    "Router",
+    "Network",
+]

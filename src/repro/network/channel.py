@@ -1,0 +1,43 @@
+"""Pipelined channels for flits and credits."""
+
+from collections import deque
+
+
+class PipelinedChannel:
+    """A fixed-latency channel modeled as a timestamped FIFO.
+
+    ``send(item, now)`` schedules delivery at ``now + delay``;
+    ``receive(now)`` pops every item due at ``now``. Sends must be
+    issued with non-decreasing timestamps, which the cycle loop
+    guarantees.
+    """
+
+    __slots__ = ("delay", "_queue")
+
+    def __init__(self, delay):
+        if delay < 1:
+            raise ValueError(f"channel delay must be >= 1, got {delay}")
+        self.delay = delay
+        self._queue = deque()
+
+    def send(self, item, now):
+        self._queue.append((now + self.delay, item))
+
+    def receive(self, now):
+        """Pop and return all items due at cycle ``now`` (in send order)."""
+        out = []
+        q = self._queue
+        while q and q[0][0] <= now:
+            due, item = q[0]
+            if due < now:
+                raise AssertionError("channel item missed its delivery cycle")
+            q.popleft()
+            out.append(item)
+        return out
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def in_flight(self):
+        return len(self._queue)

@@ -1,0 +1,107 @@
+"""Packets and flits.
+
+A packet is the unit of routing and allocation state; a flit is the
+unit of buffering, switching and flow control. Head flits carry the
+look-ahead route (the output port to use at the router they are
+arriving at) and the VC class; body/tail flits inherit the connection
+their head established.
+"""
+
+import itertools
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A network packet.
+
+    Attributes:
+        pid: globally unique packet id.
+        src / dest: terminal indices.
+        size: length in flits (>= 1).
+        vc_class: traffic class used to partition VCs (UGAL needs two).
+        priority: allocation priority (higher wins); used by
+            age-based starvation control.
+        time_created: cycle the packet was generated at the source.
+        time_injected: cycle its head flit entered the network (left the
+            source queue), or None while queued.
+        time_ejected: cycle its tail flit was ejected, or None.
+        route_state: routing-algorithm scratch state (e.g. UGAL phase
+            and intermediate router).
+        blocked_cycles: cycles the packet's head flit spent at the front
+            of a VC without departing (Section 4.3's blocking latency).
+    """
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dest",
+        "size",
+        "vc_class",
+        "priority",
+        "time_created",
+        "time_injected",
+        "time_ejected",
+        "route_state",
+        "blocked_cycles",
+        "payload",
+    )
+
+    def __init__(self, src, dest, size, time_created, vc_class=0, priority=0,
+                 payload=None):
+        if size < 1:
+            raise ValueError(f"packet size must be >= 1, got {size}")
+        self.pid = next(_packet_ids)
+        self.src = src
+        self.dest = dest
+        self.size = size
+        self.vc_class = vc_class
+        self.priority = priority
+        self.time_created = time_created
+        self.time_injected = None
+        self.time_ejected = None
+        self.route_state = None
+        self.blocked_cycles = 0
+        self.payload = payload
+
+    def flits(self):
+        """Materialize this packet's flits, in order."""
+        return [
+            Flit(self, index, index == 0, index == self.size - 1)
+            for index in range(self.size)
+        ]
+
+    def __repr__(self):
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dest}, "
+            f"size={self.size}, class={self.vc_class})"
+        )
+
+
+class Flit:
+    """One flow-control unit of a packet.
+
+    ``out_port`` and ``vc_class`` are the look-ahead routing fields: they
+    describe the output port / VC class to use at the router this flit
+    is arriving at, and are (re)written each hop before the flit is put
+    on the output channel.
+    """
+
+    __slots__ = ("packet", "index", "is_head", "is_tail", "out_port", "vc_class", "vc")
+
+    def __init__(self, packet, index, is_head, is_tail):
+        self.packet = packet
+        self.index = index
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.out_port = None
+        self.vc_class = packet.vc_class
+        # The input VC index at the router (or sink) this flit is
+        # traveling to; written by the sender when the flit departs.
+        self.vc = None
+
+    def __repr__(self):
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        if self.is_head and self.is_tail:
+            kind = "HT"
+        return f"Flit({kind}, pid={self.packet.pid}, idx={self.index})"

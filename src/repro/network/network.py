@@ -1,0 +1,145 @@
+"""Network assembly: routers, channels, terminals, and the cycle loop.
+
+Wiring: for every inter-router link, one flit channel (delay = link
+delay + 1 cycle of switch traversal) and one credit channel back
+(delay = ``credit_delay``, the paper's "two cycles to generate and
+transmit credits upstream"). Terminals get an injection channel into
+their router's terminal port and an ejection channel to a sink that
+consumes flits immediately.
+"""
+
+import random
+
+from repro.network.channel import PipelinedChannel
+from repro.network.router import Router
+from repro.network.terminal import Sink, Source
+from repro.routing import build_routing
+from repro.stats import StatsCollector
+from repro.topology import build_topology
+
+#: Extra channel latency for the switch-traversal (ST) pipeline stage.
+ST_LATENCY = 1
+
+
+class Network:
+    """A complete simulated network for one NetworkConfig."""
+
+    def __init__(self, config, stats=None):
+        self.config = config
+        self.topology = build_topology(config)
+        self.rng = random.Random(config.seed)
+        self.routing = build_routing(config, self.topology, self.rng)
+        self.routing.attach_congestion(self._congestion)
+        self.stats = stats or StatsCollector(self.topology.num_terminals)
+        self.cycle = 0
+
+        self.routers = [
+            Router(r, self.topology.radix(r), config, self.routing)
+            for r in range(self.topology.num_routers)
+        ]
+        self.sources = []
+        self.sinks = []
+        self._wire()
+
+    # ------------------------------------------------------------------
+
+    def _wire(self):
+        topo, cfg = self.topology, self.config
+        for r, router in enumerate(self.routers):
+            for port in range(topo.radix(r)):
+                link = topo.link(r, port)
+                if link is None:
+                    continue
+                if router.out_flit_channels[port] is not None:
+                    continue  # already wired from the other side
+                other = self.routers[link.dest_router]
+                fwd = PipelinedChannel(link.delay + ST_LATENCY)
+                bwd = PipelinedChannel(link.delay + ST_LATENCY)
+                cr_fwd = PipelinedChannel(cfg.credit_delay)
+                cr_bwd = PipelinedChannel(cfg.credit_delay)
+                # r:port --fwd--> other:dest_port, credits come back on cr_bwd
+                router.out_flit_channels[port] = fwd
+                other.in_flit_channels[link.dest_port] = fwd
+                other.credit_up_channels[link.dest_port] = cr_bwd
+                router.credit_return_channels[port] = cr_bwd
+                # other:dest_port --bwd--> r:port
+                other.out_flit_channels[link.dest_port] = bwd
+                router.in_flit_channels[port] = bwd
+                router.credit_up_channels[port] = cr_fwd
+                other.credit_return_channels[link.dest_port] = cr_fwd
+                router.downstream_router[port] = link.dest_router
+                other.downstream_router[link.dest_port] = r
+
+        for t in range(topo.num_terminals):
+            r, port = topo.terminal_attachment(t)
+            router = self.routers[r]
+            router.is_terminal_port[port] = True
+            inj = PipelinedChannel(cfg.injection_channel_delay)
+            ej = PipelinedChannel(cfg.injection_channel_delay + ST_LATENCY)
+            inj_credit = PipelinedChannel(cfg.credit_delay)
+            ej_credit = PipelinedChannel(cfg.credit_delay)
+            source = Source(t, cfg, self.routing, inj, inj_credit, self.stats)
+            sink = Sink(t, ej, ej_credit, self.stats)
+            router.in_flit_channels[port] = inj
+            router.credit_up_channels[port] = inj_credit
+            router.out_flit_channels[port] = ej
+            router.credit_return_channels[port] = ej_credit
+            router.downstream_router[port] = None
+            self.sources.append(source)
+            self.sinks.append(sink)
+
+    def _congestion(self, router, port):
+        return self.routers[router].occupancy(port)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_terminals(self):
+        return self.topology.num_terminals
+
+    def inject(self, packet):
+        """Queue a packet at its source terminal."""
+        self.stats.record_created(packet, self.cycle)
+        self.sources[packet.src].enqueue(packet)
+
+    def step(self):
+        """Advance the network by one cycle."""
+        now = self.cycle
+        for router in self.routers:
+            router.receive(now)
+        for sink in self.sinks:
+            sink.step(now)
+        for source in self.sources:
+            source.receive_credits(now)
+            source.step(now)
+        for router in self.routers:
+            router.step(now)
+        self.cycle += 1
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.step()
+
+    # --- introspection ----------------------------------------------------
+
+    def in_flight_flits(self):
+        """Flits buffered in routers or on channels (not source queues)."""
+        total = sum(r.total_buffered_flits() for r in self.routers)
+        for router in self.routers:
+            for chan in router.out_flit_channels:
+                if chan is not None:
+                    total += chan.in_flight
+        return total
+
+    def backlog(self):
+        """Packets waiting at sources (offered but not injected)."""
+        return sum(s.backlog for s in self.sources)
+
+    def chain_stats(self):
+        """Aggregated chaining counters across all routers."""
+        from repro.core.chaining import ChainStats
+
+        total = ChainStats()
+        for router in self.routers:
+            total = total.merged(router.chain_stats)
+        return total

@@ -1,0 +1,105 @@
+"""Terminal source and sink models.
+
+A source owns an unbounded packet queue (so offered load past
+saturation simply backs up), a one-flit-per-cycle injection channel
+into its router's terminal input port, and the credit state for that
+port's VCs. A sink consumes flits immediately and returns credits after
+the configured credit delay, and reports completed packets to the
+statistics collector.
+"""
+
+from collections import deque
+
+
+class Source:
+    """Injects queued packets into the attached router, one flit/cycle."""
+
+    def __init__(self, terminal, config, routing, flit_channel, credit_channel,
+                 stats=None):
+        self.terminal = terminal
+        self.config = config
+        self.routing = routing
+        self.flit_channel = flit_channel
+        self.credit_channel = credit_channel  # read side: credits coming back
+        self.stats = stats
+        self.credits = [config.vc_buf_depth] * config.num_vcs
+        self.queue = deque()  # packets waiting to start injection
+        self._flits = None  # remaining flits of the in-flight packet
+        self._vc = None  # VC the in-flight packet uses at the router
+
+    def enqueue(self, packet):
+        self.queue.append(packet)
+
+    @property
+    def backlog(self):
+        """Packets not yet fully injected."""
+        return len(self.queue) + (1 if self._flits else 0)
+
+    def receive_credits(self, cycle):
+        for vc in self.credit_channel.receive(cycle):
+            self.credits[vc] += 1
+
+    def step(self, cycle):
+        """Send at most one flit into the injection channel."""
+        if not self._flits:
+            self._start_next_packet(cycle)
+        if not self._flits:
+            return
+        if self.credits[self._vc] == 0:
+            return
+        flit = self._flits.popleft()
+        flit.vc = self._vc
+        self.credits[self._vc] -= 1
+        self.flit_channel.send(flit, cycle)
+
+    def _start_next_packet(self, cycle):
+        if not self.queue:
+            return
+        packet = self.queue[0]
+        # The routing decision (UGAL's adaptive choice) is made when the
+        # head flit is about to enter the network, using then-current
+        # local congestion.
+        self.routing.prepare(packet)
+        vc = self._pick_vc(packet.vc_class)
+        if vc is None:
+            return  # no credit on any VC of the class; retry next cycle
+        self.queue.popleft()
+        flits = packet.flits()
+        first_router, _ = self.routing.topology.terminal_attachment(packet.src)
+        head = flits[0]
+        # Look-ahead routing for the first hop: the output port at the
+        # first router, and the VC class for the hop leaving it. The VC
+        # *index* at the first router (head.vc) is chosen below from the
+        # packet's initial class.
+        head.out_port, head.vc_class = self.routing.next_hop(first_router, packet)
+        packet.time_injected = cycle
+        if self.stats is not None:
+            self.stats.record_injected(packet, cycle)
+        self._flits = deque(flits)
+        self._vc = vc
+
+    def _pick_vc(self, vc_class):
+        """Lowest-numbered VC of the class with a credit (Section 4.6)."""
+        for vc in self.config.vc_class_range(vc_class):
+            if self.credits[vc] > 0:
+                return vc
+        return None
+
+
+class Sink:
+    """Consumes ejected flits and returns credits upstream."""
+
+    def __init__(self, terminal, flit_channel, credit_channel, stats):
+        self.terminal = terminal
+        self.flit_channel = flit_channel  # read side: flits arriving
+        self.credit_channel = credit_channel  # write side: credits back
+        self.stats = stats
+
+    def step(self, cycle):
+        for flit in self.flit_channel.receive(cycle):
+            self.credit_channel.send(flit.vc, cycle)
+            if flit.is_tail:
+                packet = flit.packet
+                packet.time_ejected = cycle
+                self.stats.record_ejected(packet, cycle)
+            self.stats.record_flit_ejected(flit, cycle)

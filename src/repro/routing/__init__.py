@@ -1,0 +1,19 @@
+"""Routing functions: dimension-order (mesh/cmesh/torus) and UGAL (FBFly)."""
+
+from repro.routing.base import RoutingFunction
+from repro.routing.dor import DORMesh
+from repro.routing.torus_dor import DORTorus
+from repro.routing.ugal import UGALFbfly
+
+__all__ = ["RoutingFunction", "DORMesh", "DORTorus", "UGALFbfly", "build_routing"]
+
+
+def build_routing(config, topology, rng):
+    """Construct the routing function described by a NetworkConfig."""
+    if config.routing == "dor":
+        if config.topology == "torus":
+            return DORTorus(topology)
+        return DORMesh(topology)
+    if config.routing == "ugal":
+        return UGALFbfly(topology, rng)
+    raise ValueError(f"unknown routing {config.routing!r}")

@@ -1,0 +1,38 @@
+"""Routing function interface.
+
+Routing is performed look-ahead style (Galles' SGI Spider scheme,
+Section 2.4 of the paper): the output port a flit uses at router B is
+computed while the flit is still at router A (or at injection, for the
+first hop), so arriving head flits immediately carry their route.
+
+``prepare`` runs once per packet at injection and may consult local
+congestion (UGAL's adaptive decision). ``next_hop`` is called once per
+router visit and returns the output port and the VC class the packet
+must use there; it may update per-packet ``route_state``.
+"""
+
+from abc import ABC, abstractmethod
+
+
+class RoutingFunction(ABC):
+    def __init__(self, topology):
+        self.topology = topology
+        self._congestion = None
+
+    def attach_congestion(self, fn):
+        """Install a ``fn(router, port) -> occupancy`` congestion probe."""
+        self._congestion = fn
+
+    def congestion(self, router, port):
+        """Queue occupancy estimate for an output port (0 if no probe)."""
+        if self._congestion is None:
+            return 0
+        return self._congestion(router, port)
+
+    @abstractmethod
+    def prepare(self, packet):
+        """Initialize per-packet routing state at injection time."""
+
+    @abstractmethod
+    def next_hop(self, router, packet):
+        """Return (output_port, vc_class) for the packet at ``router``."""

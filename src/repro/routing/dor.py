@@ -1,0 +1,36 @@
+"""Deterministic dimension-order (XY) routing for the 2D mesh.
+
+"For the mesh we use deterministic dimension-order routing (DOR)
+because it is a simple and popular choice." (Section 3). X is resolved
+before Y; XY routing is deadlock-free in a mesh without VC classes.
+"""
+
+from repro.routing.base import RoutingFunction
+from repro.topology.mesh import (
+    PORT_TERMINAL,
+    PORT_XMINUS,
+    PORT_XPLUS,
+    PORT_YMINUS,
+    PORT_YPLUS,
+)
+
+
+class DORMesh(RoutingFunction):
+    """XY routing for any mesh-like topology (Mesh2D, CMesh2D)."""
+
+    def prepare(self, packet):
+        packet.route_state = None  # DOR is stateless
+
+    def next_hop(self, router, packet):
+        dest_router, dest_port = self.topology.terminal_attachment(packet.dest)
+        dx, dy = self.topology.coords(dest_router)
+        x, y = self.topology.coords(router)
+        if x < dx:
+            return PORT_XPLUS, 0
+        if x > dx:
+            return PORT_XMINUS, 0
+        if y < dy:
+            return PORT_YPLUS, 0
+        if y > dy:
+            return PORT_YMINUS, 0
+        return dest_port, 0

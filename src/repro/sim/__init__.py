@@ -1,0 +1,15 @@
+"""Simulation harness: runs, sweeps and saturation search."""
+
+from repro.sim.runner import SimulationRun, run_simulation
+from repro.sim.sweep import rate_sweep, find_saturation, average_results
+from repro.sim.parallel import parallel_matrix, parallel_sweep
+
+__all__ = [
+    "SimulationRun",
+    "run_simulation",
+    "rate_sweep",
+    "find_saturation",
+    "average_results",
+    "parallel_sweep",
+    "parallel_matrix",
+]

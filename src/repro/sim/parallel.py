@@ -1,0 +1,75 @@
+"""Multiprocess parameter sweeps.
+
+Simulations are independent, CPU-bound, pure-Python — ideal for a
+process pool. Work items carry a NetworkConfig (picklable dataclass)
+plus run_simulation keyword arguments; each worker builds its own
+Network so no simulator state crosses process boundaries.
+"""
+
+import copy
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.sim.runner import run_simulation
+
+
+@dataclass
+class SweepPoint:
+    """One (configuration, rate) simulation request."""
+
+    config: Any  # NetworkConfig
+    rate: float
+    run_kwargs: Dict[str, Any]
+    label: str = ""
+
+
+def _run_point(point: SweepPoint):
+    result = run_simulation(point.config, rate=point.rate, **point.run_kwargs)
+    return point.label, point.rate, result
+
+
+def parallel_sweep(config, rates, workers: Optional[int] = None,
+                   label: str = "", **run_kwargs):
+    """Run one simulation per rate across a process pool.
+
+    Returns [(rate, SimResult)] in rate order. ``workers=None`` lets the
+    pool pick; ``workers=0`` runs inline (useful under debuggers and on
+    platforms without fork).
+    """
+    points = [
+        SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label)
+        for rate in rates
+    ]
+    if workers == 0:
+        results = [_run_point(p) for p in points]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_point, points))
+    return [(rate, result) for _, rate, result in results]
+
+
+def parallel_matrix(configs, rates, workers: Optional[int] = None,
+                    **run_kwargs):
+    """Sweep a {label: NetworkConfig} matrix of configurations.
+
+    Returns {label: [(rate, SimResult)]}. All points across all
+    configurations share one pool so the pool stays saturated.
+    """
+    points = []
+    for label, config in configs.items():
+        for rate in rates:
+            points.append(
+                SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label)
+            )
+    if workers == 0:
+        raw = [_run_point(p) for p in points]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_run_point, points))
+    out = {label: [] for label in configs}
+    for label, rate, result in raw:
+        out[label].append((rate, result))
+    for series in out.values():
+        series.sort(key=lambda pair: pair[0])
+    return out

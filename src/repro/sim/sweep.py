@@ -1,0 +1,42 @@
+"""Injection-rate sweeps and saturation search."""
+
+from repro.sim.runner import run_simulation
+
+
+def rate_sweep(config_factory, rates, **run_kwargs):
+    """Run one simulation per injection rate.
+
+    ``config_factory`` is a zero-argument callable returning a *fresh*
+    NetworkConfig (router/allocator state must not leak between runs).
+    Returns a list of (rate, SimResult).
+    """
+    results = []
+    for rate in rates:
+        result = run_simulation(config_factory(), rate=rate, **run_kwargs)
+        results.append((rate, result))
+    return results
+
+
+def find_saturation(config_factory, lo=0.05, hi=1.0, tol=0.02, **run_kwargs):
+    """Binary-search the saturation injection rate.
+
+    Saturation is declared when accepted throughput falls short of the
+    offered rate by more than 5% (the network cannot absorb the load).
+    Returns (saturation_rate, accepted_throughput_at_saturation).
+    """
+    best_rate, best_tp = lo, 0.0
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        result = run_simulation(config_factory(), rate=mid, **run_kwargs)
+        if result.avg_throughput >= 0.95 * mid:
+            best_rate, best_tp = mid, result.avg_throughput
+            lo = mid
+        else:
+            hi = mid
+    return best_rate, best_tp
+
+
+def average_results(results, metric):
+    """Mean of a SimResult attribute over a list of (rate, result)."""
+    values = [getattr(result, metric) for _, result in results]
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,15 @@
+"""Simulation statistics: latency, throughput, blocking, chaining."""
+
+from repro.stats.collector import StatsCollector
+from repro.stats.summary import LatencySummary, SimResult, summarize
+from repro.stats.timeseries import TimeSeries, WindowSample, attach
+
+__all__ = [
+    "StatsCollector",
+    "SimResult",
+    "LatencySummary",
+    "summarize",
+    "TimeSeries",
+    "WindowSample",
+    "attach",
+]

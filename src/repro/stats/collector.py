@@ -1,0 +1,103 @@
+"""Measurement-window statistics collection.
+
+BookSim-style methodology: statistics are collected only inside a
+measurement window [start, end). Throughput is the flit ejection rate
+per terminal during the window; the paper reports the *minimum over all
+sources* ("Throughput results presented in this paper are the minimum
+throughput among all sources for each simulation (worst-case
+throughput)", Section 4.7). Latencies are recorded for packets ejected
+during (or after) the window that were also created inside it.
+"""
+
+
+class StatsCollector:
+    def __init__(self, num_terminals):
+        self.num_terminals = num_terminals
+        self.window = None  # (start, end) or None while not measuring
+        self.reset()
+
+    def reset(self):
+        self.flits_ejected_per_source = [0] * self.num_terminals
+        self.flits_injected_per_source = [0] * self.num_terminals
+        self.packets_created_per_source = [0] * self.num_terminals
+        self.packet_latencies = []
+        self.network_latencies = []
+        self.blocked_cycles = []
+        self.max_packet_latency = 0
+        self.packets_ejected = 0
+        self.flits_ejected = 0
+
+    def set_window(self, start, end):
+        self.window = (start, end)
+
+    # --- hooks called by the simulation ---------------------------------
+
+    def in_window(self, cycle):
+        return self.window is not None and self.window[0] <= cycle < self.window[1]
+
+    def record_created(self, packet, cycle):
+        if self.in_window(cycle):
+            self.packets_created_per_source[packet.src] += 1
+
+    def record_injected(self, packet, cycle):
+        if self.in_window(cycle):
+            self.flits_injected_per_source[packet.src] += packet.size
+
+    def record_flit_ejected(self, flit, cycle):
+        if self.in_window(cycle):
+            self.flits_ejected_per_source[flit.packet.src] += 1
+            self.flits_ejected += 1
+
+    def record_ejected(self, packet, cycle):
+        """Called on tail ejection; latency sample if created in-window."""
+        if self.in_window(cycle):
+            self.packets_ejected += 1
+        if self.window is None or packet.time_created < self.window[0]:
+            return
+        if packet.time_created >= self.window[1]:
+            return
+        latency = cycle - packet.time_created
+        self.packet_latencies.append(latency)
+        if packet.time_injected is not None:
+            self.network_latencies.append(cycle - packet.time_injected)
+        self.blocked_cycles.append(packet.blocked_cycles)
+        if latency > self.max_packet_latency:
+            self.max_packet_latency = latency
+
+    # --- derived metrics --------------------------------------------------
+
+    @property
+    def window_cycles(self):
+        if self.window is None:
+            return 0
+        return self.window[1] - self.window[0]
+
+    def throughput_per_source(self):
+        """Accepted flits per cycle for each source terminal."""
+        cycles = self.window_cycles
+        if cycles == 0:
+            return [0.0] * self.num_terminals
+        return [n / cycles for n in self.flits_ejected_per_source]
+
+    def avg_throughput(self):
+        """Mean accepted flits/cycle/terminal across active sources."""
+        rates = self.active_source_rates()
+        if not rates:
+            return 0.0
+        return sum(rates) / self.num_terminals
+
+    def min_throughput(self):
+        """Worst-case throughput: minimum over sources that offered load."""
+        rates = self.active_source_rates()
+        if not rates:
+            return 0.0
+        return min(rates)
+
+    def active_source_rates(self):
+        """Accepted rates of sources that created packets in-window."""
+        per = self.throughput_per_source()
+        return [
+            per[s]
+            for s in range(self.num_terminals)
+            if self.packets_created_per_source[s] > 0
+        ]

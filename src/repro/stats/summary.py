@@ -1,0 +1,62 @@
+"""Result summaries for simulation runs."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.chaining import ChainStats
+
+
+@dataclass
+class LatencySummary:
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, samples):
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        data = sorted(samples)
+        n = len(data)
+        return cls(
+            count=n,
+            mean=sum(data) / n,
+            p50=data[n // 2],
+            p99=data[min(n - 1, (99 * n) // 100)],
+            max=data[-1],
+        )
+
+
+@dataclass
+class SimResult:
+    """Everything a bench needs from one simulation run."""
+
+    offered_rate: float  # flits/terminal/cycle
+    avg_throughput: float  # accepted flits/terminal/cycle (mean)
+    min_throughput: float  # worst-case (paper's reported metric)
+    packet_latency: LatencySummary
+    network_latency: LatencySummary
+    blocking: LatencySummary  # per-packet blocked cycles
+    chain_stats: ChainStats = field(default_factory=ChainStats)
+    cycles_run: int = 0
+
+    @property
+    def saturated(self):
+        """Heuristic: accepted load falls clearly short of offered."""
+        return self.avg_throughput < 0.95 * self.offered_rate
+
+
+def summarize(collector, offered_rate, chain_stats, cycles_run):
+    """Build a SimResult from a StatsCollector."""
+    return SimResult(
+        offered_rate=offered_rate,
+        avg_throughput=collector.avg_throughput(),
+        min_throughput=collector.min_throughput(),
+        packet_latency=LatencySummary.of(collector.packet_latencies),
+        network_latency=LatencySummary.of(collector.network_latencies),
+        blocking=LatencySummary.of(collector.blocked_cycles),
+        chain_stats=chain_stats,
+        cycles_run=cycles_run,
+    )

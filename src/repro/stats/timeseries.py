@@ -1,0 +1,100 @@
+"""Windowed time-series sampling of network activity.
+
+Records per-window accepted throughput and mean latency while a
+simulation runs — the instrument behind stability studies like
+Figure 5 (is throughput flat or collapsing past saturation?) and for
+visualizing bursty workloads. Attach to a network's stats collector by
+calling :meth:`on_flit` / :meth:`on_packet` from a subclass, or use
+:func:`attach` to wrap an existing collector in place.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class WindowSample:
+    start: int
+    flits: int
+    packets: int
+    latency_sum: float
+
+    @property
+    def mean_latency(self):
+        return self.latency_sum / self.packets if self.packets else 0.0
+
+    def throughput(self, num_terminals, window):
+        return self.flits / window / num_terminals
+
+
+class TimeSeries:
+    """Fixed-window accumulation of ejection events."""
+
+    def __init__(self, window: int, num_terminals: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.num_terminals = num_terminals
+        self.samples: List[WindowSample] = []
+
+    def _sample_for(self, cycle):
+        start = (cycle // self.window) * self.window
+        if not self.samples or self.samples[-1].start != start:
+            # Fill gaps with empty windows so the series is uniform.
+            nxt = self.samples[-1].start + self.window if self.samples else start
+            while nxt < start:
+                self.samples.append(WindowSample(nxt, 0, 0, 0.0))
+                nxt += self.window
+            self.samples.append(WindowSample(start, 0, 0, 0.0))
+        return self.samples[-1]
+
+    def on_flit(self, cycle):
+        self._sample_for(cycle).flits += 1
+
+    def on_packet(self, cycle, latency):
+        s = self._sample_for(cycle)
+        s.packets += 1
+        s.latency_sum += latency
+
+    def throughput_series(self):
+        return [
+            s.throughput(self.num_terminals, self.window) for s in self.samples
+        ]
+
+    def latency_series(self):
+        return [s.mean_latency for s in self.samples]
+
+    def stability_ratio(self):
+        """Final-window throughput over peak-window throughput.
+
+        ~1.0 for a stable network; well below 1.0 when throughput
+        collapses after saturation onset (tree saturation).
+        """
+        series = self.throughput_series()
+        if not series:
+            return 1.0
+        peak = max(series)
+        return series[-1] / peak if peak else 1.0
+
+
+def attach(collector, window):
+    """Wrap a StatsCollector's recording hooks with a TimeSeries.
+
+    Returns the TimeSeries; the collector keeps working as before.
+    """
+    series = TimeSeries(window, collector.num_terminals)
+    orig_flit = collector.record_flit_ejected
+    orig_packet = collector.record_ejected
+
+    def record_flit(flit, cycle):
+        orig_flit(flit, cycle)
+        series.on_flit(cycle)
+
+    def record_packet(packet, cycle):
+        orig_packet(packet, cycle)
+        if packet.time_created is not None:
+            series.on_packet(cycle, cycle - packet.time_created)
+
+    collector.record_flit_ejected = record_flit
+    collector.record_ejected = record_packet
+    return series

@@ -1,0 +1,98 @@
+"""Channel/port utilization reports and text heatmaps.
+
+Routers count flits sent per output port; these helpers turn the
+counters into link-utilization tables and ASCII heatmaps — the quickest
+way to *see* tree saturation, hotspot trees, and the load imbalance
+behind worst-case-throughput numbers.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+#: Shading ramp for heatmaps, lightest to darkest.
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    router: int
+    port: int
+    flits: int
+    utilization: float  # flits per cycle on this output
+    is_terminal: bool
+
+
+def link_loads(network, cycles) -> List[LinkLoad]:
+    """Per-output-port utilization over ``cycles`` simulated cycles."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    loads = []
+    for router in network.routers:
+        for port in range(router.radix):
+            flits = router.port_flits[port]
+            loads.append(
+                LinkLoad(
+                    router=router.router_id,
+                    port=port,
+                    flits=flits,
+                    utilization=flits / cycles,
+                    is_terminal=router.is_terminal_port[port],
+                )
+            )
+    return loads
+
+
+def hottest_links(network, cycles, top=10):
+    """The ``top`` most-utilized output ports, busiest first."""
+    loads = [l for l in link_loads(network, cycles) if l.flits > 0]
+    loads.sort(key=lambda l: l.flits, reverse=True)
+    return loads[:top]
+
+
+def router_activity(network, cycles):
+    """Total flits switched per router, normalized per cycle."""
+    return [sum(r.port_flits) / cycles for r in network.routers]
+
+
+def shade(value, peak):
+    """Map a value in [0, peak] onto the ASCII shading ramp."""
+    if peak <= 0:
+        return _RAMP[0]
+    idx = int(min(1.0, value / peak) * (len(_RAMP) - 1))
+    return _RAMP[idx]
+
+
+def mesh_heatmap(network, cycles):
+    """ASCII heatmap of per-router switched flits for mesh-like grids.
+
+    Requires a topology exposing integer ``k`` (Mesh2D, Torus2D,
+    CMesh2D); raises TypeError otherwise.
+    """
+    topo = network.topology
+    k = getattr(topo, "k", None)
+    if k is None:
+        raise TypeError("mesh_heatmap requires a k x k grid topology")
+    activity = router_activity(network, cycles)
+    peak = max(activity) if activity else 0.0
+    rows = []
+    for y in range(k):
+        row = "".join(
+            shade(activity[topo.router_at(x, y)], peak) for x in range(k)
+        )
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def utilization_summary(network, cycles):
+    """One-paragraph text summary of network load distribution."""
+    loads = [l for l in link_loads(network, cycles) if not l.is_terminal]
+    active = [l.utilization for l in loads if l.flits > 0]
+    if not active:
+        return "no link traffic recorded"
+    mean = sum(active) / len(active)
+    peak = max(active)
+    return (
+        f"{len(active)} active links; mean utilization {mean:.3f}"
+        f" flits/cycle, peak {peak:.3f}"
+        f" ({peak / mean:.1f}x mean)"
+    )

@@ -1,0 +1,37 @@
+"""Network topologies.
+
+The paper's two evaluation topologies (8x8 2D mesh and 4x4 2D flattened
+butterfly) plus two companions for extension studies: the 2D torus
+(wraparound, dateline VCs) and the concentrated mesh.
+"""
+
+from repro.topology.base import Topology, Link
+from repro.topology.mesh import Mesh2D
+from repro.topology.fbfly import FlattenedButterfly
+from repro.topology.torus import Torus2D
+from repro.topology.cmesh import CMesh2D
+
+__all__ = [
+    "Topology",
+    "Link",
+    "Mesh2D",
+    "FlattenedButterfly",
+    "Torus2D",
+    "CMesh2D",
+    "build_topology",
+]
+
+
+def build_topology(config):
+    """Construct the topology described by a NetworkConfig."""
+    if config.topology == "mesh":
+        return Mesh2D(config.mesh_k)
+    if config.topology == "torus":
+        return Torus2D(config.mesh_k)
+    if config.topology == "cmesh":
+        return CMesh2D(config.mesh_k, config.cmesh_concentration)
+    if config.topology == "fbfly":
+        return FlattenedButterfly(
+            config.fbfly_rows, config.fbfly_cols, config.fbfly_concentration
+        )
+    raise ValueError(f"unknown topology {config.topology!r}")

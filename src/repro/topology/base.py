@@ -1,0 +1,71 @@
+"""Topology interface.
+
+A topology defines routers, their port maps, terminal attachment points
+and channel delays. Ports on a router are numbered 0..radix-1; each is
+either a terminal port (injection/ejection) or an inter-router link.
+"""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed inter-router connection leaving ``(router, port)``."""
+
+    dest_router: int
+    dest_port: int
+    delay: int
+
+
+class Topology(ABC):
+    """Abstract topology."""
+
+    @property
+    @abstractmethod
+    def num_routers(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def num_terminals(self) -> int: ...
+
+    @abstractmethod
+    def radix(self, router: int) -> int:
+        """Number of ports on a router (uniform in both our topologies)."""
+
+    @abstractmethod
+    def link(self, router: int, port: int) -> Optional[Link]:
+        """The link leaving (router, port), or None for terminal/edge ports."""
+
+    @abstractmethod
+    def terminal_attachment(self, terminal: int):
+        """Return (router, port) where a terminal injects/ejects."""
+
+    @abstractmethod
+    def is_terminal_port(self, router: int, port: int) -> bool: ...
+
+    @abstractmethod
+    def terminal_at(self, router: int, port: int) -> Optional[int]:
+        """The terminal attached at (router, port), or None."""
+
+    def validate(self):
+        """Sanity-check the port maps; raises AssertionError on errors."""
+        seen = set()
+        for t in range(self.num_terminals):
+            r, p = self.terminal_attachment(t)
+            assert self.is_terminal_port(r, p), (t, r, p)
+            assert self.terminal_at(r, p) == t
+            assert (r, p) not in seen, f"terminal port reused: {(r, p)}"
+            seen.add((r, p))
+        for r in range(self.num_routers):
+            for p in range(self.radix(r)):
+                lnk = self.link(r, p)
+                if lnk is None:
+                    continue
+                assert not self.is_terminal_port(r, p)
+                # Links must be symmetric: the far end points back here.
+                back = self.link(lnk.dest_router, lnk.dest_port)
+                assert back is not None, (r, p, lnk)
+                assert (back.dest_router, back.dest_port) == (r, p), (r, p, lnk, back)
+                assert back.delay == lnk.delay

@@ -1,0 +1,81 @@
+"""Concentrated 2D mesh (CMesh).
+
+A mesh with ``concentration`` terminals per router — the standard way
+to cut router count for many-core CMPs (Balfour & Dally, ICS'06).
+Useful here for chaining studies at higher per-port load: with c
+terminals per router, the injection ports see c-fold traffic and the
+allocator problem is denser.
+
+Port convention: 0-3 are the mesh directions (as in
+:mod:`repro.topology.mesh`), ports 4 .. 4+c-1 are terminals.
+"""
+
+from typing import Optional
+
+from repro.topology.base import Link, Topology
+from repro.topology.mesh import (
+    PORT_XMINUS,
+    PORT_XPLUS,
+    PORT_YMINUS,
+    PORT_YPLUS,
+)
+
+
+class CMesh2D(Topology):
+    """k x k mesh with ``concentration`` terminals per router."""
+
+    CHANNEL_DELAY = 1
+    NUM_DIRECTIONS = 4
+
+    def __init__(self, k: int, concentration: int = 4):
+        if k < 2:
+            raise ValueError(f"cmesh radix k must be >= 2, got {k}")
+        if concentration < 1:
+            raise ValueError("concentration must be >= 1")
+        self.k = k
+        self.concentration = concentration
+
+    @property
+    def num_routers(self):
+        return self.k * self.k
+
+    @property
+    def num_terminals(self):
+        return self.num_routers * self.concentration
+
+    def radix(self, router):
+        return self.NUM_DIRECTIONS + self.concentration
+
+    def coords(self, router):
+        return router % self.k, router // self.k
+
+    def router_at(self, x, y):
+        return y * self.k + x
+
+    def link(self, router, port) -> Optional[Link]:
+        if port >= self.NUM_DIRECTIONS:
+            return None  # terminal port
+        x, y = self.coords(router)
+        if port == PORT_XPLUS and x + 1 < self.k:
+            return Link(self.router_at(x + 1, y), PORT_XMINUS, self.CHANNEL_DELAY)
+        if port == PORT_XMINUS and x - 1 >= 0:
+            return Link(self.router_at(x - 1, y), PORT_XPLUS, self.CHANNEL_DELAY)
+        if port == PORT_YPLUS and y + 1 < self.k:
+            return Link(self.router_at(x, y + 1), PORT_YMINUS, self.CHANNEL_DELAY)
+        if port == PORT_YMINUS and y - 1 >= 0:
+            return Link(self.router_at(x, y - 1), PORT_YPLUS, self.CHANNEL_DELAY)
+        return None
+
+    def terminal_attachment(self, terminal):
+        return (
+            terminal // self.concentration,
+            self.NUM_DIRECTIONS + terminal % self.concentration,
+        )
+
+    def is_terminal_port(self, router, port):
+        return port >= self.NUM_DIRECTIONS
+
+    def terminal_at(self, router, port):
+        if port >= self.NUM_DIRECTIONS:
+            return router * self.concentration + (port - self.NUM_DIRECTIONS)
+        return None

@@ -1,0 +1,103 @@
+"""2D flattened butterfly (Kim, Dally & Abts, 2007).
+
+The paper's FBFly is 4x4 routers with 4 terminals each (64 terminals,
+10-port routers). Within a row (and within a column) every router pair
+is directly connected. Channel delays follow Section 3: injection and
+ejection channels take one cycle; inter-router channels take two, four
+or six cycles for hop distances of one, two or three respectively
+("short, medium and long channels").
+
+Port convention for an R x C FBFly with concentration c:
+  ports [0, c)                      terminals
+  ports [c, c + C - 1)              row links, ordered by destination x
+  ports [c + C - 1, c + C - 1 + R - 1)  column links, ordered by dest y
+"""
+
+from typing import Optional
+
+from repro.topology.base import Link, Topology
+
+#: Hop distance -> channel delay (Section 3).
+DISTANCE_DELAYS = {1: 2, 2: 4, 3: 6}
+
+
+def distance_delay(distance: int) -> int:
+    """Channel delay for an intra-dimension hop distance."""
+    if distance in DISTANCE_DELAYS:
+        return DISTANCE_DELAYS[distance]
+    # Beyond the paper's 4x4 design point, extend the linear trend.
+    return 2 * distance
+
+
+class FlattenedButterfly(Topology):
+    """rows x cols flattened butterfly with per-router concentration."""
+
+    def __init__(self, rows: int, cols: int, concentration: int):
+        if rows < 2 or cols < 2:
+            raise ValueError("FBFly needs at least 2 rows and 2 cols")
+        if concentration < 1:
+            raise ValueError("concentration must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self.concentration = concentration
+
+    @property
+    def num_routers(self):
+        return self.rows * self.cols
+
+    @property
+    def num_terminals(self):
+        return self.num_routers * self.concentration
+
+    def radix(self, router):
+        return self.concentration + (self.cols - 1) + (self.rows - 1)
+
+    def coords(self, router):
+        return router % self.cols, router // self.cols
+
+    def router_at(self, x, y):
+        return y * self.cols + x
+
+    def row_port(self, router, dest_x):
+        """The port on ``router`` leading to the router at column dest_x."""
+        x, _ = self.coords(router)
+        if dest_x == x or not 0 <= dest_x < self.cols:
+            raise ValueError(f"bad row destination x={dest_x} from x={x}")
+        # Row ports are ordered by destination x, skipping our own column.
+        offset = dest_x if dest_x < x else dest_x - 1
+        return self.concentration + offset
+
+    def col_port(self, router, dest_y):
+        """The port on ``router`` leading to the router at row dest_y."""
+        _, y = self.coords(router)
+        if dest_y == y or not 0 <= dest_y < self.rows:
+            raise ValueError(f"bad column destination y={dest_y} from y={y}")
+        offset = dest_y if dest_y < y else dest_y - 1
+        return self.concentration + (self.cols - 1) + offset
+
+    def link(self, router, port) -> Optional[Link]:
+        c = self.concentration
+        x, y = self.coords(router)
+        if port < c:
+            return None  # terminal port
+        row_ports = self.cols - 1
+        if port < c + row_ports:
+            offset = port - c
+            dest_x = offset if offset < x else offset + 1
+            dest = self.router_at(dest_x, y)
+            return Link(dest, self.row_port(dest, x), distance_delay(abs(dest_x - x)))
+        offset = port - c - row_ports
+        dest_y = offset if offset < y else offset + 1
+        dest = self.router_at(x, dest_y)
+        return Link(dest, self.col_port(dest, y), distance_delay(abs(dest_y - y)))
+
+    def terminal_attachment(self, terminal):
+        return terminal // self.concentration, terminal % self.concentration
+
+    def is_terminal_port(self, router, port):
+        return port < self.concentration
+
+    def terminal_at(self, router, port):
+        if port < self.concentration:
+            return router * self.concentration + port
+        return None

@@ -1,0 +1,67 @@
+"""2D mesh topology (the paper's 8x8 mesh, one terminal per router).
+
+Port convention: 0 = +x (east), 1 = -x (west), 2 = +y (south, toward
+higher y), 3 = -y (north), 4 = terminal. All channels have a one-cycle
+delay (Section 3). Edge routers simply have no link on the ports that
+would leave the mesh; DOR never routes toward them.
+"""
+
+from typing import Optional
+
+from repro.topology.base import Link, Topology
+
+PORT_XPLUS = 0
+PORT_XMINUS = 1
+PORT_YPLUS = 2
+PORT_YMINUS = 3
+PORT_TERMINAL = 4
+
+
+class Mesh2D(Topology):
+    """k x k 2D mesh with one terminal per router and 1-cycle channels."""
+
+    CHANNEL_DELAY = 1
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError(f"mesh radix k must be >= 2, got {k}")
+        self.k = k
+
+    @property
+    def num_routers(self):
+        return self.k * self.k
+
+    @property
+    def num_terminals(self):
+        return self.k * self.k
+
+    def radix(self, router):
+        return 5
+
+    def coords(self, router):
+        """(x, y) coordinates of a router."""
+        return router % self.k, router // self.k
+
+    def router_at(self, x, y):
+        return y * self.k + x
+
+    def link(self, router, port) -> Optional[Link]:
+        x, y = self.coords(router)
+        if port == PORT_XPLUS and x + 1 < self.k:
+            return Link(self.router_at(x + 1, y), PORT_XMINUS, self.CHANNEL_DELAY)
+        if port == PORT_XMINUS and x - 1 >= 0:
+            return Link(self.router_at(x - 1, y), PORT_XPLUS, self.CHANNEL_DELAY)
+        if port == PORT_YPLUS and y + 1 < self.k:
+            return Link(self.router_at(x, y + 1), PORT_YMINUS, self.CHANNEL_DELAY)
+        if port == PORT_YMINUS and y - 1 >= 0:
+            return Link(self.router_at(x, y - 1), PORT_YPLUS, self.CHANNEL_DELAY)
+        return None
+
+    def terminal_attachment(self, terminal):
+        return terminal, PORT_TERMINAL
+
+    def is_terminal_port(self, router, port):
+        return port == PORT_TERMINAL
+
+    def terminal_at(self, router, port):
+        return router if port == PORT_TERMINAL else None

@@ -1,0 +1,70 @@
+"""2D torus topology (k-ary 2-cube).
+
+Not part of the paper's evaluation, but the natural companion to the
+mesh for studying packet chaining under wraparound routing (tornado
+traffic is the classic torus adversary). Same port convention as the
+mesh; every direction port is connected (wraparound links close the
+rings). Deadlock freedom requires dateline VC classes — see
+:class:`repro.routing.torus_dor.DORTorus`.
+"""
+
+from typing import Optional
+
+from repro.topology.base import Link, Topology
+from repro.topology.mesh import (
+    PORT_TERMINAL,
+    PORT_XMINUS,
+    PORT_XPLUS,
+    PORT_YMINUS,
+    PORT_YPLUS,
+)
+
+
+class Torus2D(Topology):
+    """k x k 2D torus, one terminal per router, 1-cycle channels."""
+
+    CHANNEL_DELAY = 1
+
+    def __init__(self, k: int):
+        if k < 3:
+            raise ValueError(f"torus radix k must be >= 3, got {k}")
+        self.k = k
+
+    @property
+    def num_routers(self):
+        return self.k * self.k
+
+    @property
+    def num_terminals(self):
+        return self.k * self.k
+
+    def radix(self, router):
+        return 5
+
+    def coords(self, router):
+        return router % self.k, router // self.k
+
+    def router_at(self, x, y):
+        return y * self.k + x
+
+    def link(self, router, port) -> Optional[Link]:
+        x, y = self.coords(router)
+        k = self.k
+        if port == PORT_XPLUS:
+            return Link(self.router_at((x + 1) % k, y), PORT_XMINUS, self.CHANNEL_DELAY)
+        if port == PORT_XMINUS:
+            return Link(self.router_at((x - 1) % k, y), PORT_XPLUS, self.CHANNEL_DELAY)
+        if port == PORT_YPLUS:
+            return Link(self.router_at(x, (y + 1) % k), PORT_YMINUS, self.CHANNEL_DELAY)
+        if port == PORT_YMINUS:
+            return Link(self.router_at(x, (y - 1) % k), PORT_YPLUS, self.CHANNEL_DELAY)
+        return None
+
+    def terminal_attachment(self, terminal):
+        return terminal, PORT_TERMINAL
+
+    def is_terminal_port(self, router, port):
+        return port == PORT_TERMINAL
+
+    def terminal_at(self, router, port):
+        return router if port == PORT_TERMINAL else None

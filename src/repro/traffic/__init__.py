@@ -1,0 +1,43 @@
+"""Synthetic traffic: spatial patterns and injection processes."""
+
+from repro.traffic.patterns import (
+    TrafficPattern,
+    UniformRandom,
+    RandomPermutation,
+    Shuffle,
+    BitComplement,
+    Tornado,
+    Transpose,
+    Neighbor,
+    Hotspot,
+    build_pattern,
+    MESH_PATTERNS,
+    FBFLY_PATTERNS,
+)
+from repro.traffic.injection import (
+    PacketLengthDistribution,
+    FixedLength,
+    BimodalLength,
+    BernoulliInjector,
+    MarkovBurstInjector,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "RandomPermutation",
+    "Shuffle",
+    "BitComplement",
+    "Tornado",
+    "Transpose",
+    "Neighbor",
+    "Hotspot",
+    "build_pattern",
+    "MESH_PATTERNS",
+    "FBFLY_PATTERNS",
+    "PacketLengthDistribution",
+    "FixedLength",
+    "BimodalLength",
+    "BernoulliInjector",
+    "MarkovBurstInjector",
+]

@@ -1,0 +1,139 @@
+"""Injection processes and packet length distributions.
+
+Injection rates throughout the paper (and this reproduction) are given
+in flits per terminal per cycle. A Bernoulli process generates packets
+with probability ``rate / mean_packet_length`` per cycle so the offered
+load in flits matches the requested rate.
+"""
+
+from abc import ABC, abstractmethod
+
+from repro.network.flit import Packet
+
+
+class PacketLengthDistribution(ABC):
+    @abstractmethod
+    def sample(self, rng):
+        """Draw a packet length in flits."""
+
+    @property
+    @abstractmethod
+    def mean(self):
+        """Expected length in flits."""
+
+
+class FixedLength(PacketLengthDistribution):
+    def __init__(self, length):
+        if length < 1:
+            raise ValueError(f"packet length must be >= 1, got {length}")
+        self.length = length
+
+    def sample(self, rng):
+        return self.length
+
+    @property
+    def mean(self):
+        return float(self.length)
+
+
+class BimodalLength(PacketLengthDistribution):
+    """Equal amounts of short and long packets (Section 4.4).
+
+    The paper's request-reply example uses single-flit short packets
+    and five-flit long packets, mixed 50/50 *by packet count*.
+    """
+
+    def __init__(self, short=1, long=5, short_fraction=0.5):
+        if short < 1 or long < 1:
+            raise ValueError("packet lengths must be >= 1")
+        if not 0.0 <= short_fraction <= 1.0:
+            raise ValueError("short_fraction must be in [0, 1]")
+        self.short = short
+        self.long = long
+        self.short_fraction = short_fraction
+
+    def sample(self, rng):
+        return self.short if rng.random() < self.short_fraction else self.long
+
+    @property
+    def mean(self):
+        return self.short * self.short_fraction + self.long * (1 - self.short_fraction)
+
+
+class BernoulliInjector:
+    """Per-terminal Bernoulli packet generation at a target flit rate."""
+
+    def __init__(self, num_terminals, pattern, rate, lengths, rng):
+        if rate < 0:
+            raise ValueError(f"injection rate must be >= 0, got {rate}")
+        self.num_terminals = num_terminals
+        self.pattern = pattern
+        self.rate = rate
+        self.lengths = lengths
+        self.rng = rng
+        self.packet_probability = min(1.0, rate / lengths.mean)
+        self.enabled = True
+
+    def _emit(self, src, cycle, packets):
+        size = self.lengths.sample(self.rng)
+        dest = self.pattern.dest(src, self.rng)
+        if dest != src:  # self-loops never enter the network
+            packets.append(Packet(src, dest, size, cycle))
+
+    def generate(self, cycle):
+        """Packets created at this cycle, as a list (may be empty)."""
+        if not self.enabled or self.packet_probability == 0.0:
+            return []
+        packets = []
+        for src in range(self.num_terminals):
+            if self.rng.random() < self.packet_probability:
+                self._emit(src, cycle, packets)
+        return packets
+
+
+class MarkovBurstInjector(BernoulliInjector):
+    """Two-state Markov-modulated (on/off) bursty injection.
+
+    Each terminal independently alternates between an ON state, where
+    it injects packets with probability ``p_on`` per cycle, and an OFF
+    state, where it injects nothing. State transition probabilities are
+    derived from the requested average rate and the configured mean
+    burst length, the standard MMP model BookSim uses for bursty
+    traffic. The long-run flit rate matches ``rate``; burstiness is what
+    stresses allocators the way the paper's application phases do.
+    """
+
+    def __init__(self, num_terminals, pattern, rate, lengths, rng,
+                 burst_length=32, p_on=1.0):
+        super().__init__(num_terminals, pattern, rate, lengths, rng)
+        if burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        if not 0.0 < p_on <= 1.0:
+            raise ValueError("p_on must be in (0, 1]")
+        packet_rate = min(p_on, rate / lengths.mean)
+        duty = packet_rate / p_on  # fraction of time spent ON
+        if duty >= 1.0:
+            duty = 1.0
+        self.p_on = p_on
+        #: P(ON -> OFF): mean ON period is burst_length cycles.
+        self.p_exit_on = 1.0 / burst_length
+        #: P(OFF -> ON) chosen so the stationary ON fraction equals duty.
+        if duty >= 1.0:
+            self.p_enter_on = 1.0
+        else:
+            self.p_enter_on = self.p_exit_on * duty / (1.0 - duty)
+        self._on = [self.rng.random() < duty for _ in range(num_terminals)]
+
+    def generate(self, cycle):
+        if not self.enabled or self.packet_probability == 0.0:
+            return []
+        packets = []
+        for src in range(self.num_terminals):
+            if self._on[src]:
+                if self.rng.random() < self.p_on:
+                    self._emit(src, cycle, packets)
+                if self.rng.random() < self.p_exit_on:
+                    self._on[src] = False
+            elif self.rng.random() < min(1.0, self.p_enter_on):
+                self._on[src] = True
+        return packets

@@ -1,0 +1,122 @@
+"""Packet-trace recording and replay.
+
+A trace is a list of (cycle, src, dest, size) packet creations. Traces
+decouple workload generation from network evaluation: record the
+coherence traffic of one CMP run (expensive: cores + caches +
+directory), then replay it against many router configurations
+(cheap: network only). Replay is open-loop — the trace's timing does
+not react to network backpressure — which is the standard trade-off of
+trace-driven NoC evaluation and is documented wherever results from it
+are reported.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.network.flit import Packet
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    cycle: int
+    src: int
+    dest: int
+    size: int
+
+    def to_line(self):
+        return f"{self.cycle} {self.src} {self.dest} {self.size}"
+
+    @classmethod
+    def from_line(cls, line):
+        cycle, src, dest, size = (int(tok) for tok in line.split())
+        return cls(cycle, src, dest, size)
+
+
+class TraceRecorder:
+    """Collects packet creations; install with :meth:`attach`."""
+
+    def __init__(self):
+        self.entries: List[TraceEntry] = []
+
+    def attach(self, network):
+        """Wrap ``network.inject`` to record every packet."""
+        original = network.inject
+
+        def recording_inject(packet):
+            self.entries.append(
+                TraceEntry(network.cycle, packet.src, packet.dest, packet.size)
+            )
+            original(packet)
+
+        network.inject = recording_inject
+        return self
+
+    def save(self, path):
+        with open(path, "w") as fh:
+            for entry in self.entries:
+                fh.write(entry.to_line() + "\n")
+
+    @staticmethod
+    def load(path) -> List[TraceEntry]:
+        with open(path) as fh:
+            return [TraceEntry.from_line(line) for line in fh if line.strip()]
+
+
+class TraceInjector:
+    """Replays a trace; drop-in for BernoulliInjector in SimulationRun.
+
+    Entries must be sorted by cycle (``sorted=True`` validates).
+    ``time_offset`` shifts the whole trace, so a trace recorded after a
+    warmup can be replayed from cycle zero.
+    """
+
+    def __init__(self, entries, num_terminals, time_offset=None):
+        self.entries = list(entries)
+        for a, b in zip(self.entries, self.entries[1:]):
+            if b.cycle < a.cycle:
+                raise ValueError("trace entries must be sorted by cycle")
+        for e in self.entries:
+            if not (0 <= e.src < num_terminals and 0 <= e.dest < num_terminals):
+                raise ValueError(f"trace entry out of range: {e}")
+        if time_offset is None:
+            time_offset = -self.entries[0].cycle if self.entries else 0
+        self.time_offset = time_offset
+        self.num_terminals = num_terminals
+        self._next = 0
+        self.enabled = True
+        #: Mean flits/terminal/cycle over the trace span (for reports).
+        self.rate = self._mean_rate()
+
+    def _mean_rate(self):
+        if not self.entries:
+            return 0.0
+        span = self.entries[-1].cycle - self.entries[0].cycle + 1
+        flits = sum(e.size for e in self.entries)
+        return flits / span / self.num_terminals
+
+    @property
+    def exhausted(self):
+        return self._next >= len(self.entries)
+
+    def generate(self, cycle):
+        if not self.enabled:
+            return []
+        packets = []
+        target = cycle - self.time_offset
+        while self._next < len(self.entries):
+            entry = self.entries[self._next]
+            if entry.cycle > target:
+                break
+            packets.append(Packet(entry.src, entry.dest, entry.size, cycle))
+            self._next += 1
+        return packets
+
+
+def record_cmp_trace(workload, net_config, cycles, seed=1):
+    """Run the CMP for ``cycles`` and return its network packet trace."""
+    from repro.cmp.system import CMPSystem
+
+    system = CMPSystem(workload, net_config, seed=seed)
+    recorder = TraceRecorder().attach(system.network)
+    system.run(cycles)
+    return recorder.entries

@@ -1,0 +1,13 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed property tests have irregular per-example runtimes
+# (cycle loops, cache warmup); wall-clock deadlines only produce flakes
+# on loaded machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

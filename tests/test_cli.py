@@ -1,0 +1,86 @@
+"""CLI smoke and behavior tests."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCLI:
+    def test_run_basic(self):
+        code, text = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "200", "--drain", "200",
+        )
+        assert code == 0
+        assert "accepted (mean)" in text
+        assert "0.1" in text
+
+    def test_run_with_chaining_reports_chains(self):
+        code, text = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.8",
+            "--chaining", "any_input",
+            "--warmup", "100", "--measure", "300", "--drain", "0",
+        )
+        assert code == 0
+        assert "chains" in text
+
+    def test_sweep(self):
+        code, text = run_cli(
+            "sweep", "--mesh-k", "4", "--rates", "0.05", "0.1",
+            "--warmup", "100", "--measure", "200",
+        )
+        assert code == 0
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert len(lines) == 3  # header + two rates
+
+    def test_saturation(self):
+        code, text = run_cli(
+            "saturation", "--mesh-k", "4",
+            "--warmup", "100", "--measure", "200",
+        )
+        assert code == 0
+        assert "saturation rate" in text
+
+    def test_cost(self):
+        code, text = run_cli("cost", "--radix", "5")
+        assert code == 0
+        assert "wavefront vs packet chaining" in text
+        assert "1.25x area" in text
+
+    def test_cmp(self):
+        code, text = run_cli(
+            "cmp", "--workload", "canneal",
+            "--warmup", "50", "--measure", "150",
+        )
+        assert code == 0
+        assert "IPC" in text
+
+    def test_bimodal_flag(self):
+        code, text = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.2", "--bimodal",
+            "--warmup", "100", "--measure", "200", "--drain", "200",
+        )
+        assert code == 0
+
+    def test_fbfly_selects_ugal(self):
+        code, text = run_cli(
+            "run", "--topology", "fbfly", "--rate", "0.2",
+            "--warmup", "100", "--measure", "200", "--drain", "200",
+        )
+        assert code == 0
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_parser_rejects_bad_chaining(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--chaining", "sometimes"])

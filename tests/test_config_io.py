@@ -1,0 +1,53 @@
+"""Tests for NetworkConfig serialization and CLI --config."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.chaining import ChainingScheme
+from repro.network.config import NetworkConfig, fbfly_config, mesh_config
+
+
+class TestConfigIO:
+    def test_to_dict_serializes_enum(self):
+        cfg = mesh_config(chaining="same_input")
+        data = cfg.to_dict()
+        assert data["chaining"] == "same_input"
+        json.dumps(data)  # fully JSON-serializable
+
+    def test_roundtrip(self):
+        cfg = mesh_config(
+            chaining="any_input", starvation_threshold=8,
+            allocator="wavefront", vc_buf_depth=6, seed=77,
+        )
+        clone = NetworkConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+        assert clone.chaining is ChainingScheme.ANY_INPUT
+
+    def test_fbfly_roundtrip_preserves_classes(self):
+        clone = NetworkConfig.from_dict(fbfly_config().to_dict())
+        assert clone.num_classes == 2
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig.from_dict({"warp_factor": 9})
+
+    def test_save_load_file(self, tmp_path):
+        cfg = mesh_config(chaining="same_vc", mesh_k=4)
+        path = tmp_path / "net.json"
+        cfg.save(path)
+        assert NetworkConfig.load(path) == cfg
+
+    def test_cli_config_file(self, tmp_path):
+        path = tmp_path / "net.json"
+        mesh_config(mesh_k=4, chaining="any_input").save(path)
+        out = io.StringIO()
+        code = main(
+            ["run", "--config", str(path), "--rate", "0.5",
+             "--warmup", "100", "--measure", "200", "--drain", "0"],
+            out=out,
+        )
+        assert code == 0
+        assert "chains" in out.getvalue()  # chaining came from the file

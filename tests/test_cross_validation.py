@@ -1,0 +1,87 @@
+"""Cross-validation against independent reference implementations.
+
+networkx provides textbook graph algorithms; we use them as oracles for
+the hand-written allocator matching code.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocators import (
+    AugmentingPathsAllocator,
+    WavefrontAllocator,
+    islip,
+)
+
+
+def nx_max_matching_size(pairs, n_in, n_out):
+    graph = nx.Graph()
+    graph.add_nodes_from((f"i{i}" for i in range(n_in)), bipartite=0)
+    graph.add_nodes_from((f"o{o}" for o in range(n_out)), bipartite=1)
+    graph.add_edges_from((f"i{i}", f"o{o}") for i, o in pairs)
+    matching = nx.algorithms.matching.max_weight_matching(graph, maxcardinality=True)
+    return len(matching)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 7),
+    density=st.floats(0.1, 0.9),
+    seed=st.integers(0, 999),
+)
+def test_augmenting_matches_networkx(n, density, seed):
+    rng = random.Random(seed)
+    pairs = {
+        (i, o)
+        for i in range(n)
+        for o in range(n)
+        if rng.random() < density
+    }
+    requests = {pair: 0 for pair in pairs}
+    alloc = AugmentingPathsAllocator(n, n)
+    grants = alloc.allocate(requests)
+    assert len(grants) == nx_max_matching_size(pairs, n, n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 7),
+    density=st.floats(0.1, 0.9),
+    seed=st.integers(0, 999),
+)
+def test_wavefront_within_2x_of_maximum(n, density, seed):
+    """Any maximal matching is at least half the maximum (folklore)."""
+    rng = random.Random(seed)
+    pairs = {
+        (i, o)
+        for i in range(n)
+        for o in range(n)
+        if rng.random() < density
+    }
+    if not pairs:
+        return
+    requests = {pair: 0 for pair in pairs}
+    grants = WavefrontAllocator(n, n).allocate(requests)
+    maximum = nx_max_matching_size(pairs, n, n)
+    assert 2 * len(grants) >= maximum
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    seed=st.integers(0, 999),
+)
+def test_islip_never_exceeds_maximum(n, seed):
+    rng = random.Random(seed)
+    pairs = {
+        (i, o)
+        for i in range(n)
+        for o in range(n)
+        if rng.random() < 0.5
+    }
+    requests = {pair: 0 for pair in pairs}
+    grants = islip(n, n, iterations=3).allocate(requests)
+    assert len(grants) <= nx_max_matching_size(pairs, n, n)

@@ -1,0 +1,263 @@
+"""Tests for the extension substrates: torus, cmesh, hotspot, bursty
+injection, and their end-to-end behavior."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.config import cmesh_config, torus_config
+from repro.network.flit import Packet
+from repro.network.network import Network
+from repro.routing.torus_dor import DORTorus
+from repro.topology import CMesh2D, Torus2D
+from repro.topology.mesh import PORT_XMINUS, PORT_XPLUS
+from repro.traffic import (
+    FixedLength,
+    Hotspot,
+    MarkovBurstInjector,
+    UniformRandom,
+    build_pattern,
+)
+
+
+class TestTorusTopology:
+    def test_dimensions(self):
+        t = Torus2D(8)
+        assert t.num_routers == 64
+        assert t.radix(0) == 5
+
+    def test_wraparound_links(self):
+        t = Torus2D(4)
+        east_from_edge = t.link(t.router_at(3, 1), PORT_XPLUS)
+        assert east_from_edge.dest_router == t.router_at(0, 1)
+        west_from_zero = t.link(t.router_at(0, 2), PORT_XMINUS)
+        assert west_from_zero.dest_router == t.router_at(3, 2)
+
+    def test_all_direction_ports_connected(self):
+        t = Torus2D(4)
+        for r in range(t.num_routers):
+            for port in range(4):
+                assert t.link(r, port) is not None
+
+    def test_validate(self):
+        Torus2D(4).validate()
+        Torus2D(5).validate()
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            Torus2D(2)
+
+
+class TestCMeshTopology:
+    def test_dimensions(self):
+        c = CMesh2D(4, concentration=4)
+        assert c.num_routers == 16
+        assert c.num_terminals == 64
+        assert c.radix(0) == 8
+
+    def test_terminal_ports(self):
+        c = CMesh2D(4, concentration=4)
+        for t in range(64):
+            r, p = c.terminal_attachment(t)
+            assert r == t // 4
+            assert p == 4 + t % 4
+            assert c.terminal_at(r, p) == t
+
+    def test_validate(self):
+        CMesh2D(4, 4).validate()
+        CMesh2D(2, 1).validate()
+
+
+class TestTorusRouting:
+    def setup_method(self):
+        self.topo = Torus2D(8)
+        self.routing = DORTorus(self.topo)
+
+    def _walk(self, src, dest):
+        packet = Packet(src, dest, 1, 0)
+        self.routing.prepare(packet)
+        router = src
+        hops = []
+        for _ in range(20):
+            port, vc_class = self.routing.next_hop(router, packet)
+            if self.topo.is_terminal_port(router, port):
+                return hops
+            link = self.topo.link(router, port)
+            hops.append((router, link.dest_router, vc_class))
+            router = link.dest_router
+        raise AssertionError("routing did not terminate")
+
+    def test_shortest_direction_wraps(self):
+        # 0 -> x=6 on the same row: 2 hops west via wraparound, not 6 east.
+        hops = self._walk(self.topo.router_at(0, 0), self.topo.router_at(6, 0))
+        assert len(hops) == 2
+
+    def test_dateline_switches_class(self):
+        # Westward from x=0 crosses the wrap immediately: class 1 after.
+        hops = self._walk(self.topo.router_at(0, 0), self.topo.router_at(6, 0))
+        assert hops[0][2] == 1  # crossed the dateline on the first hop
+
+    def test_no_dateline_stays_class_0(self):
+        hops = self._walk(self.topo.router_at(1, 1), self.topo.router_at(3, 1))
+        assert all(cls == 0 for _, _, cls in hops)
+
+    def test_class_resets_for_second_dimension(self):
+        # Wrap in X, then move in Y without wrapping: Y hops class 0.
+        hops = self._walk(self.topo.router_at(0, 1), self.topo.router_at(6, 3))
+        x_hops = hops[:2]
+        y_hops = hops[2:]
+        assert all(cls == 1 for _, _, cls in x_hops)
+        assert all(cls == 0 for _, _, cls in y_hops)
+
+    @settings(max_examples=100, deadline=None)
+    @given(src=st.integers(0, 63), dest=st.integers(0, 63))
+    def test_property_minimal_hop_count(self, src, dest):
+        if src == dest:
+            return
+        hops = self._walk(src, dest)
+        sx, sy = self.topo.coords(src)
+        dx, dy = self.topo.coords(dest)
+        ring = lambda a, b: min((a - b) % 8, (b - a) % 8)
+        assert len(hops) == ring(sx, dx) + ring(sy, dy)
+
+
+class TestTorusEndToEnd:
+    def test_delivery_and_drain(self):
+        net = Network(torus_config(mesh_k=4))
+        rng = random.Random(5)
+        for _ in range(100):
+            src, dest = rng.randrange(16), rng.randrange(16)
+            if src != dest:
+                net.inject(Packet(src, dest, rng.choice([1, 4]), net.cycle))
+        for _ in range(1500):
+            if net.in_flight_flits() == 0 and net.backlog() == 0:
+                break
+            net.step()
+        assert net.in_flight_flits() == 0
+
+    def test_no_deadlock_under_sustained_tornado(self):
+        """The dateline classes keep the wrap rings deadlock-free."""
+        from repro.sim.runner import run_simulation
+
+        result = run_simulation(
+            torus_config(chaining="any_input"), pattern="tornado",
+            rate=0.6, packet_length=4, warmup=200, measure=400, drain=0,
+        )
+        assert result.avg_throughput > 0.01  # forward progress
+
+
+class TestCMeshEndToEnd:
+    def test_delivery(self):
+        net = Network(cmesh_config())
+        rng = random.Random(6)
+        done = []
+
+        class Probe:
+            def record_flit_ejected(self, flit, cycle):
+                done.append(flit)
+
+            def record_ejected(self, packet, cycle):
+                pass
+
+        for sink in net.sinks:
+            sink.stats = Probe()
+        count = 0
+        for _ in range(60):
+            src, dest = rng.randrange(64), rng.randrange(64)
+            if src != dest:
+                net.inject(Packet(src, dest, 1, net.cycle))
+                count += 1
+        for _ in range(800):
+            net.step()
+        assert len(done) == count
+
+    def test_chaining_on_cmesh(self):
+        from repro.sim.runner import run_simulation
+
+        result = run_simulation(
+            cmesh_config(chaining="any_input"), pattern="uniform",
+            rate=0.8, packet_length=1, warmup=200, measure=400, drain=0,
+        )
+        assert result.chain_stats.total_chains > 0
+
+
+class TestHotspot:
+    def test_hotspot_bias(self):
+        pat = Hotspot(64, hotspots=(7,), fraction=0.5)
+        rng = random.Random(0)
+        hits = sum(pat.dest(3, rng) == 7 for _ in range(2000))
+        assert 800 < hits < 1200  # ~50% (minus uniform hits on 7)
+
+    def test_zero_fraction_is_uniform(self):
+        pat = Hotspot(64, hotspots=(7,), fraction=0.0)
+        rng = random.Random(0)
+        hits = sum(pat.dest(3, rng) == 7 for _ in range(2000))
+        assert hits < 100
+
+    def test_hotspot_never_self(self):
+        pat = Hotspot(8, hotspots=(3,), fraction=1.0)
+        rng = random.Random(1)
+        for _ in range(200):
+            assert pat.dest(3, rng) != 3
+
+    def test_build_pattern_hotspot(self):
+        pat = build_pattern("hotspot", 64, random.Random(0))
+        assert isinstance(pat, Hotspot)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hotspot(8, hotspots=())
+        with pytest.raises(ValueError):
+            Hotspot(8, hotspots=(9,))
+        with pytest.raises(ValueError):
+            Hotspot(8, hotspots=(1,), fraction=1.5)
+
+
+class TestMarkovBurstInjector:
+    def _make(self, rate, burst_length=16, seed=0):
+        rng = random.Random(seed)
+        return MarkovBurstInjector(
+            32, UniformRandom(32), rate, FixedLength(1), rng,
+            burst_length=burst_length,
+        )
+
+    def test_long_run_rate_matches(self):
+        inj = self._make(0.3)
+        cycles = 6000
+        flits = sum(len(inj.generate(c)) for c in range(cycles))
+        measured = flits / cycles / 32
+        assert 0.24 < measured < 0.36
+
+    def test_burstiness_shows_as_autocorrelation(self):
+        """ON periods cluster packets: counts autocorrelate over time.
+
+        A Bernoulli process has zero lag-1 autocorrelation; the Markov
+        process holds its ON set for ~burst_length cycles.
+        """
+        inj = self._make(0.2, burst_length=64, seed=3)
+        counts = [len(inj.generate(c)) for c in range(4000)]
+        mean = sum(counts) / len(counts)
+        var = sum((x - mean) ** 2 for x in counts) / len(counts)
+        cov1 = sum(
+            (a - mean) * (b - mean) for a, b in zip(counts, counts[1:])
+        ) / (len(counts) - 1)
+        assert cov1 / var > 0.5
+
+    def test_full_rate_always_on(self):
+        inj = self._make(1.0)
+        packets = inj.generate(0)
+        assert len(packets) >= 25  # nearly every terminal fires
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._make(0.3, burst_length=0)
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            MarkovBurstInjector(8, UniformRandom(8), 0.2, FixedLength(1),
+                                rng, p_on=0.0)
+
+    def test_disabled(self):
+        inj = self._make(0.5)
+        inj.enabled = False
+        assert inj.generate(0) == []

@@ -1,0 +1,160 @@
+"""Unit tests for the network primitives: packets, flits, VCs, channels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.buffer import VirtualChannel
+from repro.network.channel import PipelinedChannel
+from repro.network.flit import Flit, Packet
+
+
+class TestPacket:
+    def test_unique_pids(self):
+        a = Packet(0, 1, 1, 0)
+        b = Packet(0, 1, 1, 0)
+        assert a.pid != b.pid
+
+    def test_flits_cover_packet(self):
+        p = Packet(0, 5, 4, 10)
+        flits = p.flits()
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+        assert [f.index for f in flits] == [0, 1, 2, 3]
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = Packet(0, 5, 1, 0)
+        (f,) = p.flits()
+        assert f.is_head and f.is_tail
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 0, 0)
+
+    def test_repr_smoke(self):
+        p = Packet(3, 7, 2, 0)
+        assert "3->7" in repr(p)
+        assert "H" in repr(p.flits()[0])
+
+
+class TestVirtualChannel:
+    def _packet_flits(self, size=3):
+        return Packet(0, 1, size, 0).flits()
+
+    def test_push_pop_fifo(self):
+        vc = VirtualChannel(4)
+        flits = self._packet_flits(3)
+        for f in flits:
+            vc.push(f)
+        assert vc.front() is flits[0]
+        assert vc.pop() is flits[0]
+        assert vc.front() is flits[1]
+
+    def test_overflow_raises(self):
+        vc = VirtualChannel(2)
+        flits = self._packet_flits(3)
+        vc.push(flits[0])
+        vc.push(flits[1])
+        with pytest.raises(OverflowError):
+            vc.push(flits[2])
+
+    def test_free_slots(self):
+        vc = VirtualChannel(3)
+        assert vc.free_slots == 3
+        vc.push(self._packet_flits(1)[0])
+        assert vc.free_slots == 2
+
+    def test_start_packet_and_tail_clears_state(self):
+        vc = VirtualChannel(4)
+        flits = self._packet_flits(2)
+        for f in flits:
+            vc.push(f)
+        vc.start_packet(flits[0].packet, out_port=2, out_vc=1)
+        assert vc.in_service()
+        assert vc.active_out_port == 2
+        vc.pop()  # head
+        assert vc.in_service()
+        vc.pop()  # tail
+        assert not vc.in_service()
+        assert vc.active_out_port is None
+
+    def test_front_out_port_head_vs_body(self):
+        vc = VirtualChannel(4)
+        flits = self._packet_flits(2)
+        flits[0].out_port = 3
+        for f in flits:
+            vc.push(f)
+        assert vc.front_out_port() == 3
+        vc.start_packet(flits[0].packet, out_port=3, out_vc=0)
+        vc.pop()
+        # Body flit at front: the stored route applies.
+        assert vc.front_out_port() == 3
+        assert vc.front_is_parked_body()
+
+    def test_empty_front_is_none(self):
+        vc = VirtualChannel(2)
+        assert vc.front() is None
+        assert vc.front_out_port() is None
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            VirtualChannel(0)
+
+    def test_pop_resets_wait_cycles(self):
+        vc = VirtualChannel(4)
+        f = self._packet_flits(1)[0]
+        vc.push(f)
+        vc.wait_cycles = 5
+        vc.pop()
+        assert vc.wait_cycles == 0
+
+
+class TestPipelinedChannel:
+    def test_delivery_after_delay(self):
+        ch = PipelinedChannel(3)
+        ch.send("a", now=10)
+        assert ch.receive(12) == []
+        assert ch.receive(13) == ["a"]
+        assert ch.receive(14) == []
+
+    def test_order_preserved(self):
+        ch = PipelinedChannel(1)
+        ch.send("a", 0)
+        ch.send("b", 0)
+        assert ch.receive(1) == ["a", "b"]
+
+    def test_pipelining(self):
+        ch = PipelinedChannel(2)
+        ch.send("a", 0)
+        ch.send("b", 1)
+        assert ch.receive(2) == ["a"]
+        assert ch.receive(3) == ["b"]
+
+    def test_missed_delivery_detected(self):
+        ch = PipelinedChannel(1)
+        ch.send("a", 0)
+        with pytest.raises(AssertionError):
+            ch.receive(2)  # skipped cycle 1
+
+    def test_bad_delay(self):
+        with pytest.raises(ValueError):
+            PipelinedChannel(0)
+
+    def test_in_flight(self):
+        ch = PipelinedChannel(5)
+        assert ch.in_flight == 0
+        ch.send("a", 0)
+        assert ch.in_flight == 1
+        ch.receive(5)
+        assert ch.in_flight == 0
+
+    @given(delay=st.integers(1, 8), items=st.lists(st.integers(), max_size=20))
+    def test_property_everything_arrives_once(self, delay, items):
+        ch = PipelinedChannel(delay)
+        for i, item in enumerate(items):
+            ch.send(item, i)
+        received = []
+        for cycle in range(len(items) + delay + 1):
+            received.extend(ch.receive(cycle))
+        assert received == items

@@ -1,0 +1,61 @@
+"""Edge-case tests for small helpers across modules."""
+
+import pytest
+
+from repro.core.cost_model import AllocatorCostModel, _interp_wavefront
+from repro.network.flit import Packet
+from repro.topology.fbfly import distance_delay
+
+
+class TestCostModelInterpolation:
+    def test_between_design_points(self):
+        area, power, delay = _interp_wavefront(7.5)
+        assert 2.5 < area < 2.7
+        assert 3.0 < power < 6.0
+        assert 1.20 < delay < 1.36
+
+    def test_extrapolation_clamped(self):
+        big = _interp_wavefront(40)
+        cap = _interp_wavefront(12.5)  # t = 1.5 clamp point
+        assert big == cap
+
+    def test_below_mesh_point_clamped(self):
+        assert _interp_wavefront(2) == _interp_wavefront(5)
+
+    def test_report_is_frozen(self):
+        r = AllocatorCostModel(5).report("islip1")
+        with pytest.raises(Exception):
+            r.area = 9.0
+
+
+class TestFBFlyDelays:
+    def test_known_points(self):
+        assert distance_delay(1) == 2
+        assert distance_delay(2) == 4
+        assert distance_delay(3) == 6
+
+    def test_extension_beyond_paper(self):
+        assert distance_delay(4) == 8  # linear trend
+
+
+class TestFlitRepr:
+    def test_head_tail_marker(self):
+        p = Packet(0, 1, 1, 0)
+        (f,) = p.flits()
+        assert "HT" in repr(f)
+
+    def test_body_marker(self):
+        p = Packet(0, 1, 3, 0)
+        flits = p.flits()
+        assert "B" in repr(flits[1])
+        assert "T" in repr(flits[2])
+
+
+class TestPacketPayload:
+    def test_payload_roundtrip(self):
+        marker = object()
+        p = Packet(0, 1, 1, 0, payload=marker)
+        assert p.payload is marker
+
+    def test_default_none(self):
+        assert Packet(0, 1, 1, 0).payload is None

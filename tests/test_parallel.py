@@ -1,0 +1,43 @@
+"""Tests for multiprocess sweeps."""
+
+import pytest
+
+from repro.network.config import mesh_config
+from repro.sim.parallel import parallel_matrix, parallel_sweep
+
+RUN = dict(warmup=100, measure=200, drain=0, pattern="uniform",
+           packet_length=1)
+
+
+class TestParallelSweep:
+    def test_inline_mode_matches_rates(self):
+        results = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05, 0.1], workers=0, **RUN
+        )
+        assert [r for r, _ in results] == [0.05, 0.1]
+        for rate, result in results:
+            assert result.avg_throughput == pytest.approx(rate, abs=0.04)
+
+    def test_process_pool_matches_inline(self):
+        inline = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.1], workers=0, **RUN
+        )
+        pooled = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.1], workers=2, **RUN
+        )
+        assert inline[0][1].avg_throughput == pooled[0][1].avg_throughput
+
+    def test_matrix(self):
+        configs = {
+            "base": mesh_config(mesh_k=4),
+            "chained": mesh_config(mesh_k=4, chaining="any_input"),
+        }
+        out = parallel_matrix(configs, rates=[0.05, 0.1], workers=2, **RUN)
+        assert set(out) == {"base", "chained"}
+        for series in out.values():
+            assert [r for r, _ in series] == [0.05, 0.1]
+
+    def test_config_not_mutated(self):
+        cfg = mesh_config(mesh_k=4, seed=123)
+        parallel_sweep(cfg, rates=[0.05], workers=0, **RUN)
+        assert cfg.seed == 123

@@ -1,0 +1,66 @@
+"""Public-API stability tests: what README and examples rely on."""
+
+import pathlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_symbols(self):
+        """The names used in README's quickstart snippet."""
+        from repro import ChainingScheme, mesh_config, run_simulation
+
+        cfg = mesh_config(chaining=ChainingScheme.SAME_INPUT)
+        result = run_simulation(cfg, pattern="uniform", rate=0.05,
+                                packet_length=1, warmup=50, measure=100,
+                                drain=100)
+        assert result.avg_throughput >= 0.0
+        assert hasattr(result, "chain_stats")
+
+    def test_subpackage_imports(self):
+        import repro.allocators
+        import repro.arbiters
+        import repro.cmp
+        import repro.core
+        import repro.network
+        import repro.routing
+        import repro.sim
+        import repro.stats
+        import repro.topology
+        import repro.traffic
+
+    def test_examples_exist_and_have_mains(self):
+        examples = pathlib.Path(__file__).parent.parent / "examples"
+        scripts = sorted(examples.glob("*.py"))
+        assert len(scripts) >= 3
+        for script in scripts:
+            text = script.read_text()
+            assert '__main__' in text, script
+            assert text.startswith('"""'), f"{script} lacks a docstring"
+
+    def test_docs_exist(self):
+        root = pathlib.Path(__file__).parent.parent
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+            assert (root / doc).exists(), doc
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_info.name)
+        assert not missing, missing

@@ -1,0 +1,240 @@
+"""Advanced router and network behavior tests: starvation-control
+edge cases, chain-eligibility rules, and end-to-end timing checks."""
+
+import random
+
+import pytest
+
+from repro.core.chaining import ChainingScheme
+from repro.network.config import fbfly_config, mesh_config
+from repro.network.flit import Packet
+from repro.network.network import Network
+from repro.sim.runner import run_simulation
+
+from tests.test_router import Sim, make_router, put
+
+
+class TestStarvationEdgeCases:
+    def test_forced_release_inhibits_chaining_that_cycle(self):
+        """'Release ... and inhibit packet chaining for the affected
+        input and output' (Section 2.5)."""
+        router = make_router(chaining=ChainingScheme.SAME_VC,
+                             starvation_threshold=2)
+        sim = Sim(router)
+        # Three chained single-flit packets: the third would chain at
+        # age 2, exactly when the threshold releases the connection.
+        pkts = [put(router, 0, 0, Packet(0, 1, 1, 0), out_port=2)[0]
+                for _ in range(3)]
+        competitor = put(router, 1, 0, Packet(2, 1, 1, 0), out_port=2)[0]
+        sim.step(8)
+        # All depart eventually, but the competitor is served before the
+        # full chain would have finished.
+        assert sim.departed(competitor)[0] < sim.departed(pkts[2])[0] + 3
+
+    def test_length_aware_chain_refusal(self):
+        """A packet longer than the remaining threshold budget must not
+        chain (it would be cut mid-transfer, Section 4.7)."""
+        router = make_router(chaining=ChainingScheme.SAME_VC,
+                             starvation_threshold=4)
+        sim = Sim(router)
+        put(router, 0, 0, Packet(0, 1, 2, 0), out_port=2)
+        long_pkt = put(router, 0, 0, Packet(0, 1, 4, 0), out_port=2)
+        sim.step(10)
+        # The 4-flit packet could not chain (age 2 + 4 > 4): it went
+        # through switch allocation instead and still departed whole.
+        assert router.chain_stats.total_chains == 0
+        cycles = [sim.departed(f)[0] for f in long_pkt]
+        assert cycles == sorted(cycles)
+
+    def test_age_mode_preemption_is_bounded(self):
+        """Age-based priorities preempt a hogging connection."""
+        router = make_router(chaining=ChainingScheme.SAME_VC, age_period=3)
+        sim = Sim(router)
+        for _ in range(6):
+            put(router, 0, 0, Packet(0, 1, 1, 0), out_port=2)
+        starved = put(router, 1, 0, Packet(2, 1, 1, 0), out_port=2)[0]
+        sim.step(10)
+        assert sim.departed(starved)[0] <= 6
+
+
+class TestChainEligibilityRules:
+    def test_no_chaining_when_output_vcs_busy(self):
+        """Eligibility (b): a free output VC must exist."""
+        router = make_router(chaining=ChainingScheme.ANY_INPUT, num_vcs=2)
+        sim = Sim(router)
+        # Two long packets occupy both output VCs of port 2.
+        put(router, 0, 0, Packet(0, 1, 6, 0), out_port=2)
+        sim.step(1)
+        put(router, 1, 0, Packet(2, 1, 6, 0), out_port=2)
+        # A 1-flit candidate from input 2 cannot chain onto packet A's
+        # tail if both output VCs are still held.
+        cand = put(router, 2, 0, Packet(3, 1, 1, 0), out_port=2)[0]
+        sim.step(20)
+        assert sim.departed(cand) is not None  # eventually via SA
+
+    def test_chain_across_back_to_back_multiflit_packets(self):
+        """Multi-flit packets chain at their boundaries too."""
+        router = make_router(chaining=ChainingScheme.ANY_INPUT)
+        sim = Sim(router)
+        # The standalone harness has no downstream to return credits;
+        # give the output ample credits so flow control never stalls.
+        router.credits[2] = [32] * router.config.num_vcs
+        a = put(router, 0, 0, Packet(0, 1, 3, 0), out_port=2)
+        b = put(router, 1, 0, Packet(2, 1, 3, 0), out_port=2)
+        c = put(router, 2, 0, Packet(3, 1, 3, 0), out_port=2)
+        sim.step(16)
+        # Output 2 is busy for 9 consecutive cycles: no idle bubbles
+        # between the three packets.
+        cycles = sorted(sim.departed(f)[0] for f in a + b + c)
+        assert cycles == list(range(cycles[0], cycles[0] + 9))
+        assert router.chain_stats.total_chains >= 2
+
+    def test_disabled_chaining_leaves_bubbles(self):
+        """The same scenario without chaining pays re-allocation cycles.
+
+        (With incremental allocation the bubble can be small, but the
+        chained version must be at least as tight.)
+        """
+        router = make_router()
+        sim = Sim(router)
+        a = put(router, 0, 0, Packet(0, 1, 3, 0), out_port=2)
+        b = put(router, 1, 0, Packet(2, 1, 3, 0), out_port=2)
+        sim.step(12)
+        span = sim.departed(b[2])[0] - sim.departed(a[0])[0] + 1
+        assert span >= 6
+
+
+class TestEndToEndTiming:
+    def test_mesh_zero_load_latency(self):
+        """1 hop = SA + ST + channel: latency is ~3 cycles/hop + overheads."""
+        net = Network(mesh_config(mesh_k=4))
+        packet = Packet(0, 1, 1, 0)  # neighbors: 1 hop
+        done = {}
+
+        class Probe:
+            def record_flit_ejected(self, flit, cycle):
+                done[flit.packet.pid] = cycle
+
+            def record_ejected(self, packet, cycle):
+                pass
+
+        for sink in net.sinks:
+            sink.stats = Probe()
+        net.inject(packet)
+        for _ in range(30):
+            net.step()
+        # injection channel (1) + SA + ST + link (1) + SA + ST+ej:
+        # small and deterministic at zero load.
+        latency = done[packet.pid]
+        assert 4 <= latency <= 10
+
+    def test_fbfly_long_channel_latency(self):
+        """Distance-3 FBFly hops pay the 6-cycle long channel."""
+        net = Network(fbfly_config())
+        # Terminals 0 (router 0 = (0,0)) and 15 (router 3 = (3,0)):
+        # one row hop of distance 3.
+        done = {}
+
+        class Probe:
+            def record_flit_ejected(self, flit, cycle):
+                done[flit.packet.pid] = cycle
+
+            def record_ejected(self, packet, cycle):
+                pass
+
+        for sink in net.sinks:
+            sink.stats = Probe()
+        short = Packet(0, 1, 1, 0)  # same router: no network hop
+        longp = Packet(0, 12, 1, 0)  # router 0 -> router 3
+        net.inject(short)
+        net.inject(longp)
+        for _ in range(40):
+            net.step()
+        assert done[longp.pid] - done[short.pid] >= 6
+
+    def test_ugal_diverts_under_congestion_end_to_end(self):
+        """Some packets take nonminimal routes once queues build."""
+        result = run_simulation(
+            fbfly_config(), pattern="tornado", rate=0.9, packet_length=1,
+            warmup=200, measure=400, drain=0,
+        )
+        assert result.avg_throughput > 0.2  # adaptivity keeps it moving
+
+    def test_hotspot_pattern_end_to_end(self):
+        result = run_simulation(
+            mesh_config(chaining="any_input"), pattern="hotspot", rate=0.3,
+            packet_length=1, warmup=200, measure=400, drain=0,
+        )
+        # The hotspots cap accepted throughput well below offered.
+        assert 0.05 < result.avg_throughput < 0.3
+
+
+class TestFigure2WorkedExample:
+    """The paper's motivating example (Figures 1-3): a 6x6 router whose
+    four VCs per input each hold one single-flit packet. Over three
+    cycles, iSLIP-1 without chaining leaves outputs idle that chaining
+    fills (13 vs 10 packets transmitted in the paper's instance).
+
+    The figure's exact packet labels aren't in the text, so we build a
+    similar instance (output 2 unrequested, heavy contention on the
+    rest) and assert the qualitative outcome: chaining transmits at
+    least as many packets every cycle and strictly more in total.
+    """
+
+    #: outputs requested by packets in (input, vc); output 2 unused.
+    REQUESTS = [
+        [0, 1, 3, 4],
+        [0, 0, 1, 5],
+        [1, 3, 4, 5],
+        [0, 1, 4, 5],
+        [4, 3, 5, 0],
+        [5, 4, 0, 1],
+    ]
+
+    def _run(self, chaining, cycles=10, per_vc=3):
+        router = make_router(radix=6, chaining=chaining)
+        # Ample downstream credits (the figure's router is the
+        # bottleneck, not its neighbors).
+        router.credits = [[64] * 4 for _ in range(6)]
+        sim = Sim(router)
+        for p, outs in enumerate(self.REQUESTS):
+            for v, o in enumerate(outs):
+                for _ in range(per_vc):
+                    put(router, p, v, Packet(0, 1, 1, 0), out_port=o)
+        sim.step(cycles)
+        return sim
+
+    def test_chaining_transmits_more_packets(self):
+        """The paper's instance: 13 vs 10 packets over the window."""
+        base = len(self._run(ChainingScheme.DISABLED).departures)
+        chained = len(self._run(ChainingScheme.SAME_INPUT).departures)
+        assert chained > base
+        # Roughly the figure's 30% improvement (13/10).
+        assert chained >= 1.15 * base
+
+    def test_at_most_one_packet_per_output_per_cycle(self):
+        sim = self._run(ChainingScheme.ANY_INPUT)
+        seen = set()
+        for cycle, o, _ in sim.departures:
+            assert (cycle, o) not in seen
+            seen.add((cycle, o))
+
+    def test_unrequested_output_stays_idle(self):
+        sim = self._run(ChainingScheme.ANY_INPUT)
+        assert all(o != 2 for _, o, _ in sim.departures)
+
+
+class TestRouterIntrospection:
+    def test_occupancy_tracks_credit_deficit(self):
+        router = make_router()
+        sim = Sim(router)
+        assert router.occupancy(2) == 0
+        put(router, 0, 0, Packet(0, 1, 4, 0), out_port=2)
+        sim.step(2)
+        assert router.occupancy(2) == 2  # two flits sent, no credits back
+
+    def test_total_buffered_flits(self):
+        router = make_router()
+        put(router, 0, 0, Packet(0, 1, 4, 0), out_port=2)
+        put(router, 1, 1, Packet(2, 1, 2, 0), out_port=1)
+        assert router.total_buffered_flits() == 6

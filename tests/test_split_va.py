@@ -1,0 +1,138 @@
+"""Tests for the split (separate) VC-allocator router mode."""
+
+import pytest
+
+from repro.core.chaining import ChainingScheme
+from repro.network.config import NetworkConfig, mesh_config
+from repro.network.flit import Packet
+from repro.sim.runner import run_simulation
+
+from tests.test_router import Sim, make_router, put
+
+
+class TestSplitVARouter:
+    def test_head_waits_for_vc_allocation(self):
+        """Heads take one extra cycle (the VA stage) vs combined."""
+        combined = make_router()
+        split = make_router(vc_allocation="split")
+        results = {}
+        for name, router in [("combined", combined), ("split", split)]:
+            sim = Sim(router)
+            flit = put(router, 0, 0, Packet(0, 1, 1, 0), out_port=2)[0]
+            sim.step(4)
+            results[name] = sim.departed(flit)[0]
+        assert results["split"] == results["combined"] + 1
+
+    def test_output_vc_held_from_va_time(self):
+        router = make_router(vc_allocation="split")
+        sim = Sim(router)
+        put(router, 0, 0, Packet(0, 1, 4, 0), out_port=2)
+        sim.step(1)  # VA commits at end of cycle 0
+        assert router.out_vc_busy[2][0]
+        assert router.in_vcs[0][0].active_packet is not None
+
+    def test_va_conflict_serializes(self):
+        """Two heads wanting the same output VC: one waits a cycle."""
+        router = make_router(vc_allocation="split", num_vcs=1)
+        sim = Sim(router)
+        a = put(router, 0, 0, Packet(0, 1, 1, 0), out_port=2)[0]
+        b = put(router, 1, 0, Packet(2, 1, 1, 0), out_port=2)[0]
+        sim.step(6)
+        ca, cb = sim.departed(a)[0], sim.departed(b)[0]
+        assert abs(ca - cb) >= 1
+
+    def test_body_flits_stream_normally(self):
+        router = make_router(vc_allocation="split")
+        sim = Sim(router)
+        flits = put(router, 0, 0, Packet(0, 1, 3, 0), out_port=2)
+        sim.step(6)
+        cycles = [sim.departed(f)[0] for f in flits]
+        assert cycles == [cycles[0], cycles[0] + 1, cycles[0] + 2]
+
+    def test_chaining_works_with_split_va(self):
+        router = make_router(vc_allocation="split",
+                             chaining=ChainingScheme.ANY_INPUT)
+        sim = Sim(router)
+        a = put(router, 0, 0, Packet(0, 1, 2, 0), out_port=2)
+        b = put(router, 1, 0, Packet(2, 1, 1, 0), out_port=2)[0]
+        sim.step(8)
+        assert sim.departed(b) is not None
+        assert router.chain_stats.total_chains >= 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(vc_allocation="quantum")
+
+
+class TestSpeculativeVA:
+    def test_zero_load_latency_matches_combined(self):
+        """Successful speculation hides the VA pipeline stage."""
+        combined = make_router()
+        spec = make_router(vc_allocation="speculative")
+        results = {}
+        for name, router in [("combined", combined), ("speculative", spec)]:
+            sim = Sim(router)
+            flit = put(router, 0, 0, Packet(0, 1, 1, 0), out_port=2)[0]
+            sim.step(4)
+            results[name] = sim.departed(flit)[0]
+        assert results["speculative"] == results["combined"]
+
+    def test_nonspeculative_beats_speculative(self):
+        """A packet holding an output VC wins over a speculating head.
+
+        Two heads contend in cycle 0; the loser receives a VC-allocator
+        grant at the end of the cycle and, now non-speculative, must
+        beat a freshly arrived speculative head in cycle 1.
+        """
+        router = make_router(vc_allocation="speculative")
+        sim = Sim(router)
+        a = put(router, 0, 0, Packet(0, 1, 1, 0), out_port=2)[0]
+        b = put(router, 1, 0, Packet(2, 1, 1, 0), out_port=2)[0]
+        sim.step(1)
+        loser = b if sim.departed(a) else a
+        # The loser was VC-allocated at the end of cycle 0.
+        holder_vc = router.in_vcs[0][0] if loser is a else router.in_vcs[1][0]
+        assert holder_vc.active_packet is loser.packet
+        fresh = put(router, 2, 0, Packet(3, 1, 1, 0), out_port=2)[0]
+        sim.step(4)
+        assert sim.departed(loser)[0] < sim.departed(fresh)[0]
+
+    def test_wasted_speculation_counted(self):
+        """When all output VCs are busy, a speculative grant is wasted."""
+        router = make_router(vc_allocation="speculative", num_vcs=1)
+        sim = Sim(router)
+        put(router, 0, 0, Packet(0, 1, 8, 0), out_port=2)
+        sim.step(2)  # the long packet holds the single output VC
+        put(router, 1, 0, Packet(2, 1, 1, 0), out_port=1)
+        spec = put(router, 2, 0, Packet(3, 1, 1, 0), out_port=2)[0]
+        sim.step(3)
+        # The speculator cannot claim a VC; it may or may not burn an SA
+        # grant depending on arbitration, but it must not depart yet.
+        assert sim.departed(spec) is None
+
+    def test_end_to_end(self):
+        result = run_simulation(
+            mesh_config(mesh_k=4, vc_allocation="speculative"),
+            pattern="uniform", rate=0.15, packet_length=2,
+            warmup=200, measure=400, drain=400,
+        )
+        assert result.avg_throughput == pytest.approx(0.15, abs=0.04)
+
+
+class TestSplitVANetwork:
+    def test_end_to_end_delivery(self):
+        result = run_simulation(
+            mesh_config(mesh_k=4, vc_allocation="split"),
+            pattern="uniform", rate=0.15, packet_length=2,
+            warmup=200, measure=400, drain=400,
+        )
+        assert result.avg_throughput == pytest.approx(0.15, abs=0.04)
+
+    def test_split_has_higher_zero_load_latency(self):
+        run = dict(pattern="uniform", rate=0.05, packet_length=1,
+                   warmup=200, measure=400, drain=400)
+        combined = run_simulation(mesh_config(mesh_k=4), **run)
+        split = run_simulation(
+            mesh_config(mesh_k=4, vc_allocation="split"), **run
+        )
+        assert split.packet_latency.mean > combined.packet_latency.mean

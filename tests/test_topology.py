@@ -1,0 +1,138 @@
+"""Tests for the mesh and flattened-butterfly topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology import FlattenedButterfly, Mesh2D, build_topology
+from repro.topology.fbfly import distance_delay
+from repro.topology.mesh import PORT_TERMINAL, PORT_XMINUS, PORT_XPLUS
+from repro.network.config import fbfly_config, mesh_config
+
+
+class TestMesh2D:
+    def test_paper_dimensions(self):
+        m = Mesh2D(8)
+        assert m.num_routers == 64
+        assert m.num_terminals == 64
+        assert m.radix(0) == 5
+
+    def test_coords_roundtrip(self):
+        m = Mesh2D(8)
+        for r in range(64):
+            x, y = m.coords(r)
+            assert m.router_at(x, y) == r
+            assert 0 <= x < 8 and 0 <= y < 8
+
+    def test_interior_links(self):
+        m = Mesh2D(4)
+        r = m.router_at(1, 1)
+        east = m.link(r, PORT_XPLUS)
+        assert east.dest_router == m.router_at(2, 1)
+        assert east.dest_port == PORT_XMINUS
+        assert east.delay == 1
+
+    def test_edge_has_no_link(self):
+        m = Mesh2D(4)
+        corner = m.router_at(0, 0)
+        assert m.link(corner, PORT_XMINUS) is None
+
+    def test_terminal_attachment(self):
+        m = Mesh2D(4)
+        for t in range(16):
+            r, p = m.terminal_attachment(t)
+            assert r == t
+            assert p == PORT_TERMINAL
+            assert m.is_terminal_port(r, p)
+            assert m.terminal_at(r, p) == t
+
+    def test_validate(self):
+        Mesh2D(8).validate()
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            Mesh2D(1)
+
+    def test_link_count(self):
+        """A k x k mesh has 2*k*(k-1) bidirectional links."""
+        m = Mesh2D(4)
+        links = sum(
+            1
+            for r in range(m.num_routers)
+            for p in range(m.radix(r))
+            if m.link(r, p) is not None
+        )
+        assert links == 2 * 2 * 4 * 3  # directed
+
+
+class TestFlattenedButterfly:
+    def test_paper_dimensions(self):
+        f = FlattenedButterfly(4, 4, 4)
+        assert f.num_routers == 16
+        assert f.num_terminals == 64
+        # "each FBFly router has 10 ports" (Section 3)
+        assert f.radix(0) == 10
+
+    def test_channel_delays_by_distance(self):
+        """Short/medium/long channels: 2/4/6 cycles (Section 3)."""
+        assert distance_delay(1) == 2
+        assert distance_delay(2) == 4
+        assert distance_delay(3) == 6
+
+    def test_row_fully_connected(self):
+        f = FlattenedButterfly(4, 4, 4)
+        r = f.router_at(0, 2)
+        for dest_x in (1, 2, 3):
+            port = f.row_port(r, dest_x)
+            link = f.link(r, port)
+            assert link.dest_router == f.router_at(dest_x, 2)
+            assert link.delay == distance_delay(dest_x)
+
+    def test_col_fully_connected(self):
+        f = FlattenedButterfly(4, 4, 4)
+        r = f.router_at(1, 0)
+        for dest_y in (1, 2, 3):
+            port = f.col_port(r, dest_y)
+            link = f.link(r, port)
+            assert link.dest_router == f.router_at(1, dest_y)
+            assert link.delay == distance_delay(dest_y)
+
+    def test_row_port_to_self_rejected(self):
+        f = FlattenedButterfly(4, 4, 4)
+        with pytest.raises(ValueError):
+            f.row_port(0, 0)
+
+    def test_terminal_attachment(self):
+        f = FlattenedButterfly(4, 4, 4)
+        for t in range(64):
+            r, p = f.terminal_attachment(t)
+            assert r == t // 4
+            assert p == t % 4
+            assert f.is_terminal_port(r, p)
+            assert f.terminal_at(r, p) == t
+
+    def test_validate(self):
+        FlattenedButterfly(4, 4, 4).validate()
+
+    def test_validate_other_shapes(self):
+        FlattenedButterfly(2, 3, 2).validate()
+        FlattenedButterfly(3, 2, 1).validate()
+
+    @given(
+        rows=st.integers(2, 4),
+        cols=st.integers(2, 4),
+        conc=st.integers(1, 4),
+    )
+    def test_property_links_symmetric(self, rows, cols, conc):
+        FlattenedButterfly(rows, cols, conc).validate()
+
+
+class TestBuildTopology:
+    def test_mesh_from_config(self):
+        topo = build_topology(mesh_config())
+        assert isinstance(topo, Mesh2D)
+        assert topo.num_terminals == 64
+
+    def test_fbfly_from_config(self):
+        topo = build_topology(fbfly_config())
+        assert isinstance(topo, FlattenedButterfly)
+        assert topo.num_terminals == 64

@@ -1,0 +1,183 @@
+"""Tests for traffic patterns and injection processes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic import (
+    BernoulliInjector,
+    BimodalLength,
+    BitComplement,
+    FixedLength,
+    Neighbor,
+    RandomPermutation,
+    Shuffle,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    build_pattern,
+    MESH_PATTERNS,
+    FBFLY_PATTERNS,
+)
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        pat = UniformRandom(64)
+        rng = random.Random(0)
+        for src in range(64):
+            for _ in range(20):
+                assert pat.dest(src, rng) != src
+
+    def test_uniform_covers_all_destinations(self):
+        pat = UniformRandom(8)
+        rng = random.Random(1)
+        seen = {pat.dest(0, rng) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+    def test_permutation_is_fixed_and_self_free(self):
+        rng = random.Random(2)
+        pat = RandomPermutation(64, rng)
+        for src in range(64):
+            d = pat.dest(src, rng)
+            assert d == pat.dest(src, rng)  # deterministic
+            assert d != src
+        assert sorted(pat.perm) == list(range(64))
+
+    def test_shuffle_rotates_bits(self):
+        pat = Shuffle(64)
+        # 0b000001 -> 0b000010 ; 0b100000 -> 0b000001
+        assert pat.dest(1, None) == 2
+        assert pat.dest(32, None) == 1
+        assert pat.dest(0, None) == 0  # fixed point
+
+    def test_shuffle_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            Shuffle(48)
+
+    def test_bitcomp(self):
+        pat = BitComplement(64)
+        assert pat.dest(0, None) == 63
+        assert pat.dest(21, None) == 42
+        for src in range(64):
+            assert pat.dest(pat.dest(src, None), None) == src  # involution
+
+    def test_tornado_shift(self):
+        pat = Tornado(64)  # 8x8 grid, shift = ceil(8/2)-1 = 3
+        # (0,0) -> (3,3) = terminal 27
+        assert pat.dest(0, None) == 27
+        # wraps: (6,6)=54 -> (1,1)=9
+        assert pat.dest(54, None) == 9
+
+    def test_transpose(self):
+        pat = Transpose(64)
+        # (x=2,y=5)=42 -> (x=5,y=2)=21
+        assert pat.dest(42, None) == 21
+        assert pat.dest(0, None) == 0  # diagonal fixed point
+
+    def test_neighbor(self):
+        pat = Neighbor(64)
+        # (0,0) -> (1,1) = 9
+        assert pat.dest(0, None) == 9
+
+    def test_grid_patterns_need_square_count(self):
+        with pytest.raises(ValueError):
+            Tornado(48)
+
+    @pytest.mark.parametrize("name", FBFLY_PATTERNS)
+    def test_build_pattern_all_names(self, name):
+        pat = build_pattern(name, 64, random.Random(0))
+        d = pat.dest(5, random.Random(1))
+        assert 0 <= d < 64
+
+    def test_build_pattern_unknown(self):
+        with pytest.raises(ValueError):
+            build_pattern("zigzag", 64, random.Random(0))
+
+    def test_mesh_pattern_list_matches_paper(self):
+        assert MESH_PATTERNS == (
+            "uniform", "permutation", "shuffle", "bitcomp", "tornado",
+        )
+
+    @pytest.mark.parametrize("name", FBFLY_PATTERNS)
+    def test_patterns_are_permutation_or_uniform(self, name):
+        """Deterministic patterns map each src to exactly one dest in range."""
+        pat = build_pattern(name, 64, random.Random(3))
+        rng = random.Random(4)
+        for src in range(64):
+            assert 0 <= pat.dest(src, rng) < 64
+
+
+class TestLengthDistributions:
+    def test_fixed(self):
+        d = FixedLength(5)
+        assert d.sample(random.Random(0)) == 5
+        assert d.mean == 5.0
+
+    def test_fixed_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedLength(0)
+
+    def test_bimodal_mean(self):
+        d = BimodalLength(short=1, long=5, short_fraction=0.5)
+        assert d.mean == 3.0
+
+    def test_bimodal_samples_both(self):
+        d = BimodalLength(1, 5)
+        rng = random.Random(0)
+        seen = {d.sample(rng) for _ in range(100)}
+        assert seen == {1, 5}
+
+    def test_bimodal_extreme_fractions(self):
+        rng = random.Random(0)
+        assert BimodalLength(1, 5, short_fraction=1.0).sample(rng) == 1
+        assert BimodalLength(1, 5, short_fraction=0.0).sample(rng) == 5
+
+    def test_bimodal_validation(self):
+        with pytest.raises(ValueError):
+            BimodalLength(1, 5, short_fraction=1.5)
+
+
+class TestBernoulliInjector:
+    def test_rate_zero_generates_nothing(self):
+        inj = BernoulliInjector(8, UniformRandom(8), 0.0, FixedLength(1), random.Random(0))
+        assert inj.generate(0) == []
+
+    def test_rate_one_single_flit_saturates(self):
+        inj = BernoulliInjector(8, UniformRandom(8), 1.0, FixedLength(1), random.Random(0))
+        packets = inj.generate(0)
+        assert len(packets) == 8  # probability 1 per terminal
+
+    def test_flit_rate_accounts_for_packet_length(self):
+        """Offered flit rate should approximate the requested rate."""
+        rng = random.Random(7)
+        inj = BernoulliInjector(64, UniformRandom(64), 0.4, FixedLength(4), rng)
+        cycles = 500
+        flits = sum(p.size for c in range(cycles) for p in inj.generate(c))
+        measured = flits / cycles / 64
+        assert 0.35 < measured < 0.45
+
+    def test_disabled_injector(self):
+        inj = BernoulliInjector(8, UniformRandom(8), 1.0, FixedLength(1), random.Random(0))
+        inj.enabled = False
+        assert inj.generate(0) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliInjector(8, UniformRandom(8), -0.1, FixedLength(1), random.Random(0))
+
+    def test_self_loops_dropped(self):
+        """Patterns with fixed points (transpose diagonal) inject nothing there."""
+        inj = BernoulliInjector(64, Transpose(64), 1.0, FixedLength(1), random.Random(0))
+        packets = inj.generate(0)
+        srcs = {p.src for p in packets}
+        diagonal = {y * 8 + x for x in range(8) for y in range(8) if x == y}
+        assert srcs.isdisjoint(diagonal)
+
+    def test_packet_fields(self):
+        inj = BernoulliInjector(8, UniformRandom(8), 1.0, FixedLength(3), random.Random(0))
+        for p in inj.generate(42):
+            assert p.time_created == 42
+            assert p.size == 3
+            assert p.src != p.dest
