@@ -4,7 +4,10 @@ Examples::
 
     python -m repro run --topology mesh --pattern uniform --rate 0.45 \\
         --chaining same_input
-    python -m repro sweep --rates 0.1 0.2 0.3 0.4 --chaining any_input
+    python -m repro run --rate 0.4 --trace out.jsonl \\
+        --trace-filter event=sa_grant|pc_chain --metrics metrics.json
+    python -m repro sweep --rates 0.1 0.2 0.3 0.4 --chaining any_input --json
+    python -m repro report out.jsonl
     python -m repro saturation --pattern tornado
     python -m repro cmp --workload blackscholes --chaining same_input \\
         --starvation-threshold 8
@@ -12,10 +15,21 @@ Examples::
 """
 
 import argparse
+import json
 import sys
 
 from repro.core.cost_model import AllocatorCostModel
 from repro.network.config import NetworkConfig
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    PhaseProfiler,
+    TraceBus,
+    TraceFilter,
+    format_report,
+    read_jsonl,
+    summarize_trace,
+)
 from repro.sim.runner import run_simulation
 from repro.sim.sweep import find_saturation
 from repro.traffic import BimodalLength, FixedLength
@@ -69,6 +83,49 @@ def _config_from(args):
     )
 
 
+def _add_obs_args(parser):
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL event trace (see 'repro report')")
+    parser.add_argument("--trace-filter", default=None, metavar="EXPR",
+                        help="filter trace events, e.g. "
+                             "'router=3|12,event=sa_grant|pc_chain'")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="export run metrics (.prom/.txt: Prometheus "
+                             "text format, otherwise JSON)")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="profile router pipeline phases to a JSON file")
+    parser.add_argument("--profile-epoch", type=int, default=1000,
+                        help="profiling epoch length in cycles")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+
+
+def _obs_from(args):
+    """Build (trace bus, profiler, metrics registry) from CLI flags."""
+    bus = None
+    if args.trace:
+        filt = TraceFilter.parse(args.trace_filter) if args.trace_filter else None
+        bus = TraceBus(filter=filt)
+        bus.attach(JsonlSink(args.trace))
+    profiler = PhaseProfiler(args.profile_epoch) if args.profile else None
+    registry = MetricsRegistry() if (args.metrics or args.json) else None
+    return bus, profiler, registry
+
+
+def _finish_obs(args, bus, profiler):
+    if bus is not None:
+        bus.close()
+    if profiler is not None:
+        profiler.save(args.profile)
+
+
+def _save_metrics(registry, path):
+    if path.endswith((".prom", ".txt")):
+        registry.save_prometheus(path)
+    else:
+        registry.save_json(path)
+
+
 def _lengths_from(args):
     return BimodalLength(1, 5) if args.bimodal else FixedLength(args.packet_length)
 
@@ -96,28 +153,68 @@ def _print_result(result, out):
 
 
 def cmd_run(args, out):
+    bus, profiler, registry = _obs_from(args)
     result = run_simulation(
         _config_from(args), pattern=args.pattern, rate=args.rate,
         lengths=_lengths_from(args), warmup=args.warmup,
         measure=args.measure, drain=args.drain,
+        trace=bus, profiler=profiler, metrics=registry,
     )
-    _print_result(result, out)
+    _finish_obs(args, bus, profiler)
+    if args.metrics:
+        _save_metrics(registry, args.metrics)
+    if args.json:
+        payload = result.to_dict()
+        payload["metrics"] = registry.to_dict()
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _print_result(result, out)
+        if result.drained is not None:
+            state = "complete" if result.drained else "INCOMPLETE"
+            out.write(
+                f"drain             : {state} after {result.drain_cycles}"
+                f" cycles\n"
+            )
+        if result.timing is not None:
+            out.write(
+                f"simulation speed  : {result.timing['cycles_per_sec']:.0f}"
+                f" cycles/sec\n"
+            )
     return 0
 
 
 def cmd_sweep(args, out):
-    out.write(f"{'rate':>6} {'accepted':>9} {'min-src':>8} {'latency':>8}\n")
+    rows = []
+    if not args.json:
+        out.write(f"{'rate':>6} {'accepted':>9} {'min-src':>8} {'latency':>8}\n")
     for rate in args.rates:
+        registry = MetricsRegistry() if args.json else None
         result = run_simulation(
             _config_from(args), pattern=args.pattern, rate=rate,
             lengths=_lengths_from(args), warmup=args.warmup,
-            measure=args.measure, drain=0,
+            measure=args.measure, drain=0, metrics=registry,
         )
-        out.write(
-            f"{rate:>6.2f} {result.avg_throughput:>9.3f}"
-            f" {result.min_throughput:>8.3f}"
-            f" {result.packet_latency.mean:>8.1f}\n"
-        )
+        if args.json:
+            payload = result.to_dict()
+            payload["rate"] = rate
+            payload["metrics"] = registry.to_dict()
+            rows.append(payload)
+        else:
+            out.write(
+                f"{rate:>6.2f} {result.avg_throughput:>9.3f}"
+                f" {result.min_throughput:>8.3f}"
+                f" {result.packet_latency.mean:>8.1f}\n"
+            )
+    if args.json:
+        json.dump(rows, out, indent=2, sort_keys=True)
+        out.write("\n")
+    return 0
+
+
+def cmd_report(args, out):
+    events = read_jsonl(args.tracefile)
+    out.write(format_report(summarize_trace(events), top=args.top))
     return 0
 
 
@@ -168,6 +265,7 @@ def build_parser():
     p = sub.add_parser("run", help="one simulation, full result summary")
     _add_network_args(p)
     _add_traffic_args(p)
+    _add_obs_args(p)
     p.add_argument("--rate", type=float, default=0.4)
     p.set_defaults(func=cmd_run)
 
@@ -176,7 +274,15 @@ def build_parser():
     _add_traffic_args(p)
     p.add_argument("--rates", type=float, nargs="+",
                    default=[0.1, 0.2, 0.3, 0.4, 0.5])
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON array of per-rate results")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("report", help="summarize a JSONL event trace")
+    p.add_argument("tracefile", help="trace written by run --trace")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the contention / blocked-packet tables")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("saturation", help="binary-search the saturation rate")
     _add_network_args(p)

@@ -13,6 +13,7 @@ import random
 from repro.network.channel import PipelinedChannel
 from repro.network.router import Router
 from repro.network.terminal import Sink, Source
+from repro.obs.trace import NULL_TRACE
 from repro.routing import build_routing
 from repro.stats import StatsCollector
 from repro.topology import build_topology
@@ -24,19 +25,26 @@ ST_LATENCY = 1
 class Network:
     """A complete simulated network for one NetworkConfig."""
 
-    def __init__(self, config, stats=None):
+    def __init__(self, config, stats=None, trace=None):
         self.config = config
         self.topology = build_topology(config)
         self.rng = random.Random(config.seed)
         self.routing = build_routing(config, self.topology, self.rng)
         self.routing.attach_congestion(self._congestion)
         self.stats = stats or StatsCollector(self.topology.num_terminals)
+        #: Event trace bus shared by routers, sources, and sinks. The
+        #: default NULL_TRACE never activates, so untraced runs pay one
+        #: branch per emission site.
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.profiler = None
         self.cycle = 0
 
         self.routers = [
             Router(r, self.topology.radix(r), config, self.routing)
             for r in range(self.topology.num_routers)
         ]
+        for router in self.routers:
+            router.trace = self.trace
         self.sources = []
         self.sinks = []
         self._wire()
@@ -78,8 +86,9 @@ class Network:
             ej = PipelinedChannel(cfg.injection_channel_delay + ST_LATENCY)
             inj_credit = PipelinedChannel(cfg.credit_delay)
             ej_credit = PipelinedChannel(cfg.credit_delay)
-            source = Source(t, cfg, self.routing, inj, inj_credit, self.stats)
-            sink = Sink(t, ej, ej_credit, self.stats)
+            source = Source(t, cfg, self.routing, inj, inj_credit, self.stats,
+                            trace=self.trace)
+            sink = Sink(t, ej, ej_credit, self.stats, trace=self.trace)
             router.in_flit_channels[port] = inj
             router.credit_up_channels[port] = inj_credit
             router.out_flit_channels[port] = ej
@@ -102,6 +111,13 @@ class Network:
         self.stats.record_created(packet, self.cycle)
         self.sources[packet.src].enqueue(packet)
 
+    def attach_profiler(self, profiler):
+        """Enable per-phase pipeline profiling on every router."""
+        self.profiler = profiler
+        for router in self.routers:
+            router.profiler = profiler
+        return profiler
+
     def step(self):
         """Advance the network by one cycle."""
         now = self.cycle
@@ -115,6 +131,8 @@ class Network:
         for router in self.routers:
             router.step(now)
         self.cycle += 1
+        if self.profiler is not None:
+            self.profiler.end_cycle()
 
     def run(self, cycles):
         for _ in range(cycles):
@@ -143,3 +161,23 @@ class Network:
         for router in self.routers:
             total = total.merged(router.chain_stats)
         return total
+
+    def publish_metrics(self, registry):
+        """Publish collector, chaining, and router-level metrics."""
+        self.stats.publish_metrics(registry)
+        self.chain_stats().publish_metrics(registry)
+        registry.counter(
+            "cycles", help="Simulated cycles executed"
+        ).inc(self.cycle)
+        registry.counter(
+            "router_flits_sent",
+            help="Flits sent across all router output ports",
+        ).inc(sum(sum(r.port_flits) for r in self.routers))
+        registry.counter(
+            "wasted_speculations",
+            help="SA grants wasted on failed VC speculation",
+        ).inc(sum(r.wasted_speculations for r in self.routers))
+        registry.gauge(
+            "in_flight_flits", help="Flits buffered in routers or on channels"
+        ).set(self.in_flight_flits())
+        return registry

@@ -38,6 +38,8 @@ allocator. Each cycle:
     cycle and never enters switch allocation.
 """
 
+from time import perf_counter
+
 from repro.allocators import make_allocator
 from repro.arbiters import RoundRobinArbiter
 from repro.core.chaining import (
@@ -47,6 +49,7 @@ from repro.core.chaining import (
     scheme_admits,
 )
 from repro.core.starvation import StarvationControl, StarvationMode
+from repro.obs.trace import NULL_TRACE
 
 #: Priority boost that makes non-speculative switch requests always beat
 #: speculative ones in "speculative" VC-allocation mode. Larger than any
@@ -109,6 +112,12 @@ class Router:
         #: Flits sent per output port (utilization accounting).
         self.port_flits = [0] * P
 
+        #: Observability: event bus (Network installs the real one) and
+        #: optional phase profiler. Both default to inert so the hot
+        #: path pays one attribute load + branch per emission site.
+        self.trace = NULL_TRACE
+        self.profiler = None
+
         # Wiring, installed by Network.
         self.in_flit_channels = [None] * P  # read side
         self.out_flit_channels = [None] * P  # write side (includes ST cycle)
@@ -137,7 +146,8 @@ class Router:
     # ------------------------------------------------------------------
 
     def step(self, cycle):
-        P = self.radix
+        prof = self.profiler
+        t0 = perf_counter() if prof is not None else 0.0
         conn_in_start = list(self.conn_in)
         conn_out_start = list(self.conn_out)
 
@@ -145,14 +155,20 @@ class Router:
         inhibited = set()  # inputs/outputs barred from chaining this cycle
         releasing = {}  # output -> (input, vc): tail departed, chainable
 
-        self._forced_releases(released_inputs, inhibited)
+        self._forced_releases(cycle, released_inputs, inhibited)
+        if prof is not None:
+            t1 = perf_counter(); prof.add("release", t1 - t0); t0 = t1
         departed_vcs = self._stream_connections(
             cycle, releasing, released_inputs, inhibited
         )
+        if prof is not None:
+            t1 = perf_counter(); prof.add("stream", t1 - t0); t0 = t1
 
         sa_requests, sa_contrib, forming_tails = self._collect_sa_requests(
             conn_in_start, conn_out_start
         )
+        if prof is not None:
+            t1 = perf_counter(); prof.add("sa_collect", t1 - t0); t0 = t1
 
         builder = None
         pc_grants = {}
@@ -171,31 +187,41 @@ class Router:
                         for pair, prio in matrix.items()
                     }
                 pc_grants = self.pc_alloc.allocate(matrix)
+        if prof is not None:
+            t1 = perf_counter(); prof.add("pc", t1 - t0); t0 = t1
 
         sa_grants = self.switch_alloc.allocate(sa_requests) if sa_requests else {}
         sa_winner_vc, sa_tail_outputs = self._commit_sa(
             cycle, sa_grants, sa_contrib, departed_vcs
         )
+        if prof is not None:
+            t1 = perf_counter(); prof.add("sa", t1 - t0); t0 = t1
 
         if pc_grants:
             self._commit_pc(
-                pc_grants, builder, sa_grants, sa_winner_vc, sa_tail_outputs,
-                releasing, conn_out_start,
+                cycle, pc_grants, builder, sa_grants, sa_winner_vc,
+                sa_tail_outputs, releasing, conn_out_start,
             )
+        if prof is not None:
+            t1 = perf_counter(); prof.add("pc", t1 - t0); t0 = t1
 
         if self.split_va:
             # VC allocation commits at the end of the cycle: newly
             # allocated packets bid for the switch starting next cycle
             # (the extra pipeline stage of a split VA router).
-            self._split_vc_allocation()
+            self._split_vc_allocation(cycle)
+        if prof is not None:
+            t1 = perf_counter(); prof.add("vc_alloc", t1 - t0); t0 = t1
 
         self._end_of_cycle(departed_vcs)
         if self.scheme.enabled:
             self.chain_stats.cycles += 1
+        if prof is not None:
+            prof.add("end", perf_counter() - t0)
 
     # --- 1. starvation-control releases --------------------------------
 
-    def _forced_releases(self, released_inputs, inhibited):
+    def _forced_releases(self, cycle, released_inputs, inhibited):
         starv = self.starvation
         if starv.mode is StarvationMode.DISABLED:
             return
@@ -206,16 +232,27 @@ class Router:
             p, v = held
             if starv.mode is StarvationMode.THRESHOLD:
                 if starv.must_release(self.conn_age[o]):
-                    self._release(o, released_inputs)
+                    self._starvation_tick(cycle, o, p, v)
+                    self._release(cycle, o, released_inputs, "starvation")
                     inhibited.add(("in", p))
                     inhibited.add(("out", o))
             else:  # AGE mode: preempt on higher-priority waiting request
                 holder = self.in_vcs[p][v].active_packet
                 holder_prio = holder.priority if holder else 0
                 if self._higher_priority_waiter(o, holder_prio):
-                    self._release(o, released_inputs)
+                    self._starvation_tick(cycle, o, p, v)
+                    self._release(cycle, o, released_inputs, "preempt")
                     inhibited.add(("in", p))
                     inhibited.add(("out", o))
+
+    def _starvation_tick(self, cycle, o, p, v):
+        tr = self.trace
+        if tr.active:
+            tr.emit(
+                "starvation_tick", cycle, router=self.router_id, port=o,
+                in_port=p, vc=v, age=self.conn_age[o],
+                mode=self.starvation.mode.value,
+            )
 
     def _competing_waiter(self, output):
         """Any head flit in a *different* VC wanting this output?
@@ -250,7 +287,7 @@ class Router:
                     return True
         return False
 
-    def _release(self, output, released_inputs):
+    def _release(self, cycle, output, released_inputs, reason):
         held = self.conn_out[output]
         if held is None:
             return
@@ -262,6 +299,12 @@ class Router:
         # starvation control keeps accumulating across chained packets).
         # New connections reset the age when they form.
         released_inputs.add(p)
+        tr = self.trace
+        if tr.active:
+            tr.emit(
+                "conn_released", cycle, router=self.router_id, port=output,
+                in_port=p, reason=reason,
+            )
 
     # --- 2. stream held connections ------------------------------------
 
@@ -277,12 +320,12 @@ class Router:
             packet = vcobj.active_packet
             if flit is None or packet is None or flit.packet is not packet:
                 # Input VC empty (or desynchronized): unusable, release.
-                self._release(o, released_inputs)
+                self._release(cycle, o, released_inputs, "empty")
                 continue
             w = vcobj.active_out_vc
             if self.credits[o][w] == 0:
                 # Output VC out of credits: unusable, release (Kumar et al.).
-                self._release(o, released_inputs)
+                self._release(cycle, o, released_inputs, "no_credit")
                 continue
             self._send_flit(cycle, flit, p, v, o, w)
             departed_vcs.add((p, v))
@@ -297,7 +340,7 @@ class Router:
                         and self._competing_waiter(o)
                     ):
                         releasing[o] = (p, v)
-                self._release(o, released_inputs)
+                self._release(cycle, o, released_inputs, "tail")
         return departed_vcs
 
     def _send_flit(self, cycle, flit, p, v, o, w):
@@ -321,6 +364,18 @@ class Router:
         up = self.credit_up_channels[p]
         if up is not None:
             up.send(v, cycle)
+        tr = self.trace
+        if tr.active:
+            tr.emit(
+                "flit_routed", cycle, router=self.router_id, port=o,
+                pid=flit.packet.pid, idx=flit.index, in_port=p, in_vc=v,
+                out_vc=w,
+            )
+            if flit.is_tail:
+                tr.emit(
+                    "vc_free", cycle, router=self.router_id, port=o, vc=w,
+                    pid=flit.packet.pid,
+                )
 
     # --- 3. switch-allocator requests -----------------------------------
 
@@ -523,6 +578,7 @@ class Router:
             vcobj = self.in_vcs[p][v]
             flit = vcobj.front()
 
+            tr = self.trace
             if vcobj.active_packet is None:
                 w = self._free_out_vc(o, flit.vc_class)
                 if w is None:
@@ -533,9 +589,19 @@ class Router:
                     continue
                 vcobj.start_packet(flit.packet, o, w)
                 self.out_vc_busy[o][w] = True
+                if tr.active:
+                    tr.emit(
+                        "vc_alloc", cycle, router=self.router_id, port=o,
+                        vc=w, pid=flit.packet.pid,
+                    )
             else:
                 w = vcobj.active_out_vc
 
+            if tr.active:
+                tr.emit(
+                    "sa_grant", cycle, router=self.router_id, port=o,
+                    pid=flit.packet.pid, in_port=p, vc=v, out_vc=w,
+                )
             self._send_flit(cycle, flit, p, v, o, w)
             departed_vcs.add((p, v))
             sa_winner_vc[p] = v
@@ -547,13 +613,18 @@ class Router:
                 self.conn_in[p] = o
                 self.conn_out[o] = (p, v)
                 self.conn_age[o] = 0
+                if tr.active:
+                    tr.emit(
+                        "conn_held", cycle, router=self.router_id, port=o,
+                        in_port=p, vc=v, pid=flit.packet.pid,
+                    )
         return sa_winner_vc, sa_tail_outputs
 
     # --- 6. packet-chaining commit / conflict detection ------------------
 
     def _commit_pc(
-        self, pc_grants, builder, sa_grants, sa_winner_vc, sa_tail_outputs,
-        releasing, conn_out_start,
+        self, cycle, pc_grants, builder, sa_grants, sa_winner_vc,
+        sa_tail_outputs, releasing, conn_out_start,
     ):
         for p, o in pc_grants.items():
             candidates = builder.candidates_for(p, o)
@@ -570,7 +641,7 @@ class Router:
                 else:
                     self.chain_stats.speculation_failures += 1
                 continue
-            self._establish_chain(chosen, o, releasing, sa_tail_outputs)
+            self._establish_chain(cycle, chosen, o, releasing, sa_tail_outputs)
 
     def _behind_winning_tail(self, cand, p, sa_winner_vc, sa_tail_outputs):
         """True if cand sits directly behind this input's SA-granted tail."""
@@ -619,13 +690,19 @@ class Router:
             return self.credits[vcobj.active_out_port][vcobj.active_out_vc] > 0
         return self._free_out_vc(o, cand.flit.vc_class) is not None
 
-    def _establish_chain(self, cand, o, releasing, sa_tail_outputs):
+    def _establish_chain(self, cycle, cand, o, releasing, sa_tail_outputs):
         p, v = cand.input_port, cand.vc
         vcobj = self.in_vcs[p][v]
+        tr = self.trace
         if vcobj.active_packet is None:
             w = self._free_out_vc(o, cand.flit.vc_class)
             vcobj.start_packet(cand.flit.packet, o, w)
             self.out_vc_busy[o][w] = True
+            if tr.active:
+                tr.emit(
+                    "vc_alloc", cycle, router=self.router_id, port=o, vc=w,
+                    pid=cand.flit.packet.pid,
+                )
         self.conn_in[p] = o
         self.conn_out[o] = (p, v)
         holder = releasing.get(o)
@@ -639,8 +716,15 @@ class Router:
         self.chain_stats.record_chain(
             same_input=holder[0] == p, same_vc=holder == (p, v)
         )
+        if tr.active:
+            tr.emit(
+                "pc_chain", cycle, router=self.router_id, port=o,
+                pid=cand.flit.packet.pid, in_port=p, vc=v,
+                same_input=holder[0] == p, same_vc=holder == (p, v),
+                speculative=cand.speculative,
+            )
 
-    def _split_vc_allocation(self):
+    def _split_vc_allocation(self, cycle):
         """Assign output VCs to waiting head flits (split-VA mode).
 
         Each unallocated head flit requests its lowest-numbered free
@@ -667,10 +751,16 @@ class Router:
                 requesters[pair] = (p, v, flit, w)
         if not requests:
             return
+        tr = self.trace
         for in_idx, out_idx in self.vc_alloc.allocate(requests).items():
             p, v, flit, w = requesters[(in_idx, out_idx)]
             self.in_vcs[p][v].start_packet(flit.packet, flit.out_port, w)
             self.out_vc_busy[flit.out_port][w] = True
+            if tr.active:
+                tr.emit(
+                    "vc_alloc", cycle, router=self.router_id,
+                    port=flit.out_port, vc=w, pid=flit.packet.pid,
+                )
 
     # --- 7. end of cycle --------------------------------------------------
 

@@ -10,18 +10,21 @@ statistics collector.
 
 from collections import deque
 
+from repro.obs.trace import NULL_TRACE
+
 
 class Source:
     """Injects queued packets into the attached router, one flit/cycle."""
 
     def __init__(self, terminal, config, routing, flit_channel, credit_channel,
-                 stats=None):
+                 stats=None, trace=None):
         self.terminal = terminal
         self.config = config
         self.routing = routing
         self.flit_channel = flit_channel
         self.credit_channel = credit_channel  # read side: credits coming back
         self.stats = stats
+        self.trace = trace if trace is not None else NULL_TRACE
         self.credits = [config.vc_buf_depth] * config.num_vcs
         self.queue = deque()  # packets waiting to start injection
         self._flits = None  # remaining flits of the in-flight packet
@@ -51,6 +54,12 @@ class Source:
         flit.vc = self._vc
         self.credits[self._vc] -= 1
         self.flit_channel.send(flit, cycle)
+        tr = self.trace
+        if tr.active:
+            tr.emit(
+                "flit_injected", cycle, terminal=self.terminal,
+                pid=flit.packet.pid, idx=flit.index, vc=self._vc,
+            )
 
     def _start_next_packet(self, cycle):
         if not self.queue:
@@ -89,13 +98,16 @@ class Source:
 class Sink:
     """Consumes ejected flits and returns credits upstream."""
 
-    def __init__(self, terminal, flit_channel, credit_channel, stats):
+    def __init__(self, terminal, flit_channel, credit_channel, stats,
+                 trace=None):
         self.terminal = terminal
         self.flit_channel = flit_channel  # read side: flits arriving
         self.credit_channel = credit_channel  # write side: credits back
         self.stats = stats
+        self.trace = trace if trace is not None else NULL_TRACE
 
     def step(self, cycle):
+        tr = self.trace
         for flit in self.flit_channel.receive(cycle):
             self.credit_channel.send(flit.vc, cycle)
             if flit.is_tail:
@@ -103,3 +115,15 @@ class Sink:
                 packet.time_ejected = cycle
                 self.stats.record_ejected(packet, cycle)
             self.stats.record_flit_ejected(flit, cycle)
+            if tr.active:
+                packet = flit.packet
+                fields = {
+                    "terminal": self.terminal,
+                    "pid": packet.pid,
+                    "idx": flit.index,
+                    "tail": flit.is_tail,
+                }
+                if flit.is_tail:
+                    fields["latency"] = cycle - packet.time_created
+                    fields["blocked"] = packet.blocked_cycles
+                tr.emit("flit_ejected", cycle, **fields)

@@ -1,0 +1,57 @@
+"""Observability for the simulation core: tracing, metrics, profiling.
+
+Three independent instruments, all zero-overhead when unused:
+
+- :mod:`repro.obs.trace` — a typed event bus (``TraceBus``) the router,
+  terminals, and injectors emit structured per-cycle events into, with
+  JSONL and in-memory sinks and per-event filtering;
+- :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms with JSON and Prometheus-text export;
+- :mod:`repro.obs.profiler` — per-epoch wall-clock timing of the router
+  pipeline phases, reporting cycles/sec.
+
+:mod:`repro.obs.report` summarizes a trace file (chain-length
+distribution, port contention, top-blocked packets) for ``repro
+report``.
+"""
+
+from repro.obs.metrics import (
+    CHAIN_LENGTH_EDGES,
+    LATENCY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import PHASES, PhaseProfiler
+from repro.obs.report import TraceSummary, format_report, summarize_trace
+from repro.obs.trace import (
+    EVENT_TYPES,
+    NULL_TRACE,
+    JsonlSink,
+    MemorySink,
+    TraceBus,
+    TraceFilter,
+    read_jsonl,
+)
+
+__all__ = [
+    "TraceBus",
+    "TraceFilter",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_TRACE",
+    "EVENT_TYPES",
+    "read_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_EDGES",
+    "CHAIN_LENGTH_EDGES",
+    "PhaseProfiler",
+    "PHASES",
+    "TraceSummary",
+    "summarize_trace",
+    "format_report",
+]

@@ -22,23 +22,37 @@ class SweepPoint:
     rate: float
     run_kwargs: Dict[str, Any]
     label: str = ""
+    #: When set, each worker profiles its run with this epoch length
+    #: and the resulting SimResult carries a ``timing`` summary, so
+    #: sweeps double as cycles/sec regression probes.
+    profile_epoch: Optional[int] = None
 
 
 def _run_point(point: SweepPoint):
-    result = run_simulation(point.config, rate=point.rate, **point.run_kwargs)
+    profiler = None
+    if point.profile_epoch is not None:
+        from repro.obs.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler(point.profile_epoch)
+    result = run_simulation(
+        point.config, rate=point.rate, profiler=profiler, **point.run_kwargs
+    )
     return point.label, point.rate, result
 
 
 def parallel_sweep(config, rates, workers: Optional[int] = None,
-                   label: str = "", **run_kwargs):
+                   label: str = "", profile_epoch: Optional[int] = None,
+                   **run_kwargs):
     """Run one simulation per rate across a process pool.
 
     Returns [(rate, SimResult)] in rate order. ``workers=None`` lets the
     pool pick; ``workers=0`` runs inline (useful under debuggers and on
-    platforms without fork).
+    platforms without fork). ``profile_epoch`` enables per-run pipeline
+    profiling (see SweepPoint).
     """
     points = [
-        SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label)
+        SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label,
+                   profile_epoch)
         for rate in rates
     ]
     if workers == 0:
@@ -50,7 +64,7 @@ def parallel_sweep(config, rates, workers: Optional[int] = None,
 
 
 def parallel_matrix(configs, rates, workers: Optional[int] = None,
-                    **run_kwargs):
+                    profile_epoch: Optional[int] = None, **run_kwargs):
     """Sweep a {label: NetworkConfig} matrix of configurations.
 
     Returns {label: [(rate, SimResult)]}. All points across all
@@ -60,7 +74,8 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
     for label, config in configs.items():
         for rate in rates:
             points.append(
-                SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label)
+                SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs),
+                           label, profile_epoch)
             )
     if workers == 0:
         raw = [_run_point(p) for p in points]

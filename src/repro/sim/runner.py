@@ -2,7 +2,7 @@
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.network.network import Network
 from repro.stats.summary import SimResult, summarize
@@ -19,9 +19,12 @@ class SimulationRun:
     warmup: int
     measure: int
     drain: int
+    #: Optional MetricsRegistry to publish end-of-run metrics into.
+    metrics: Optional[Any] = None
 
     def execute(self):
         net, inj = self.network, self.injector
+        inj.trace = net.trace  # packet creation shows up in traces
         stats = net.stats
         stats.set_window(self.warmup, self.warmup + self.measure)
         total = self.warmup + self.measure
@@ -34,12 +37,30 @@ class SimulationRun:
         # the measurement window only, so unstable (past-saturation)
         # runs are measured correctly without a full drain.
         inj.enabled = False
+        drain_cycles = 0
         for _ in range(self.drain):
             if net.in_flight_flits() == 0:
                 break
             net.step()
+            drain_cycles += 1
+        # Report whether the drain actually completed: a False here on a
+        # drain-requested run means the drain budget expired with flits
+        # still in flight (expect censored latency samples).
+        drained = (net.in_flight_flits() == 0) if self.drain > 0 else None
+        timing = None
+        if net.profiler is not None:
+            net.profiler.finish()
+            timing = {
+                "cycles_per_sec": net.profiler.cycles_per_sec(),
+                "phase_seconds": net.profiler.phase_totals(),
+                "epoch_cycles": net.profiler.epoch_cycles,
+                "epochs": len(net.profiler.epochs),
+            }
+        if self.metrics is not None:
+            net.publish_metrics(self.metrics)
         return summarize(
-            stats, inj.rate, net.chain_stats(), net.cycle
+            stats, inj.rate, net.chain_stats(), net.cycle,
+            drained=drained, drain_cycles=drain_cycles, timing=timing,
         )
 
 
@@ -53,19 +74,31 @@ def run_simulation(
     measure=3000,
     drain=2000,
     seed=None,
+    trace=None,
+    profiler=None,
+    metrics=None,
 ):
     """Build and execute one simulation; returns a :class:`SimResult`.
 
     ``lengths`` may be any PacketLengthDistribution; ``packet_length``
     is a convenience for fixed lengths. ``rate`` is in flits per
     terminal per cycle (the paper's unit).
+
+    Observability (all optional, all zero-overhead when omitted):
+    ``trace`` is a :class:`~repro.obs.trace.TraceBus` to emit events
+    into, ``profiler`` a :class:`~repro.obs.profiler.PhaseProfiler` to
+    attach (its summary lands in ``SimResult.timing``), and ``metrics``
+    a :class:`~repro.obs.metrics.MetricsRegistry` the finished run
+    publishes into.
     """
     if seed is not None:
         config.seed = seed
-    net = Network(config)
+    net = Network(config, trace=trace)
+    if profiler is not None:
+        net.attach_profiler(profiler)
     traffic_rng = random.Random(config.seed + 0x5EED)
     dist = lengths if lengths is not None else FixedLength(packet_length)
     pat = build_pattern(pattern, net.num_terminals, traffic_rng)
     injector = BernoulliInjector(net.num_terminals, pat, rate, dist, traffic_rng)
-    run = SimulationRun(net, injector, warmup, measure, drain)
+    run = SimulationRun(net, injector, warmup, measure, drain, metrics=metrics)
     return run.execute()

@@ -1,5 +1,6 @@
 """Result summaries for simulation runs."""
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -41,14 +42,28 @@ class SimResult:
     blocking: LatencySummary  # per-packet blocked cycles
     chain_stats: ChainStats = field(default_factory=ChainStats)
     cycles_run: int = 0
+    #: Drain-phase outcome: did in-flight flits empty out, and how many
+    #: drain cycles ran? ``drained`` is None when no drain was requested.
+    drained: Optional[bool] = None
+    drain_cycles: int = 0
+    #: Profiler summary (cycles/sec, per-phase seconds) when profiling
+    #: was enabled for the run; None otherwise.
+    timing: Optional[dict] = None
 
     @property
     def saturated(self):
         """Heuristic: accepted load falls clearly short of offered."""
         return self.avg_throughput < 0.95 * self.offered_rate
 
+    def to_dict(self):
+        """JSON-serializable dict (nested dataclasses become dicts)."""
+        data = dataclasses.asdict(self)
+        data["saturated"] = self.saturated
+        return data
 
-def summarize(collector, offered_rate, chain_stats, cycles_run):
+
+def summarize(collector, offered_rate, chain_stats, cycles_run,
+              drained=None, drain_cycles=0, timing=None):
     """Build a SimResult from a StatsCollector."""
     return SimResult(
         offered_rate=offered_rate,
@@ -59,4 +74,7 @@ def summarize(collector, offered_rate, chain_stats, cycles_run):
         blocking=LatencySummary.of(collector.blocked_cycles),
         chain_stats=chain_stats,
         cycles_run=cycles_run,
+        drained=drained,
+        drain_cycles=drain_cycles,
+        timing=timing,
     )

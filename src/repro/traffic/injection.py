@@ -9,6 +9,7 @@ load in flits matches the requested rate.
 from abc import ABC, abstractmethod
 
 from repro.network.flit import Packet
+from repro.obs.trace import NULL_TRACE
 
 
 class PacketLengthDistribution(ABC):
@@ -73,12 +74,22 @@ class BernoulliInjector:
         self.rng = rng
         self.packet_probability = min(1.0, rate / lengths.mean)
         self.enabled = True
+        #: Event bus; the simulation driver points this at the
+        #: network's bus so packet creation shows up in traces.
+        self.trace = NULL_TRACE
 
     def _emit(self, src, cycle, packets):
         size = self.lengths.sample(self.rng)
         dest = self.pattern.dest(src, self.rng)
         if dest != src:  # self-loops never enter the network
-            packets.append(Packet(src, dest, size, cycle))
+            packet = Packet(src, dest, size, cycle)
+            packets.append(packet)
+            tr = self.trace
+            if tr.active:
+                tr.emit(
+                    "packet_created", cycle, pid=packet.pid, src=src,
+                    dest=dest, size=size,
+                )
 
     def generate(self, cycle):
         """Packets created at this cycle, as a list (may be empty)."""

@@ -1,0 +1,496 @@
+"""Observability layer: trace bus, metrics registry, profiler, report."""
+
+import json
+
+import pytest
+
+from repro.network.config import mesh_config
+from repro.network.network import Network
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_TRACE,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    PhaseProfiler,
+    TraceBus,
+    TraceFilter,
+    format_report,
+    read_jsonl,
+    summarize_trace,
+)
+from repro.sim.parallel import parallel_sweep
+from repro.sim.runner import SimulationRun, run_simulation
+from repro.traffic.injection import BernoulliInjector, FixedLength
+from repro.traffic.patterns import build_pattern
+
+
+def traced_run(config, rate=0.6, measure=300, drain=2000, packet_length=1,
+               trace=None):
+    """Run with window [0, measure) and a full drain; returns (result, net)."""
+    import random
+
+    net = Network(config, trace=trace)
+    rng = random.Random(7)
+    pat = build_pattern("uniform", net.num_terminals, rng)
+    inj = BernoulliInjector(
+        net.num_terminals, pat, rate, FixedLength(packet_length), rng
+    )
+    run = SimulationRun(net, inj, warmup=0, measure=measure, drain=drain)
+    return run.execute(), net
+
+
+class TestTraceBus:
+    def test_null_trace_never_active(self):
+        assert NULL_TRACE.active is False
+
+    def test_active_requires_sink_and_enabled(self):
+        bus = TraceBus()
+        assert not bus.active  # no sink yet
+        sink = bus.attach(MemorySink())
+        assert bus.active
+        bus.disable()
+        assert not bus.active
+        bus.enable()
+        assert bus.active
+        bus.detach(sink)
+        assert not bus.active
+
+    def test_emit_counts_and_fans_out(self):
+        bus = TraceBus()
+        a, b = bus.attach(MemorySink()), bus.attach(MemorySink())
+        bus.emit("sa_grant", 5, router=1, port=2, pid=9)
+        assert bus.counts == {"sa_grant": 1}
+        assert a.events == b.events
+        assert a.events[0] == {
+            "ev": "sa_grant", "cycle": 5, "router": 1, "port": 2, "pid": 9
+        }
+
+    def test_jsonl_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = TraceBus()
+        bus.attach(JsonlSink(str(path)))
+        bus.emit("pc_chain", 3, router=0, port=1, pid=4)
+        bus.emit("flit_ejected", 9, terminal=2, pid=4, tail=True)
+        bus.close()
+        events = read_jsonl(str(path))
+        assert [e["ev"] for e in events] == ["pc_chain", "flit_ejected"]
+        assert events[1]["tail"] is True
+
+
+class TestTraceFilter:
+    def test_parse_and_admit(self):
+        filt = TraceFilter.parse("router=3|12,event=sa_grant|pc_chain")
+        assert filt.admits({"ev": "sa_grant", "cycle": 0, "router": 3})
+        assert not filt.admits({"ev": "sa_grant", "cycle": 0, "router": 4})
+        assert not filt.admits({"ev": "flit_routed", "cycle": 0, "router": 3})
+
+    def test_packet_and_port_filters(self):
+        filt = TraceFilter(ports=[2], packets=[7])
+        assert filt.admits({"ev": "sa_grant", "cycle": 0, "port": 2, "pid": 7})
+        assert not filt.admits({"ev": "sa_grant", "cycle": 0, "port": 1, "pid": 7})
+        # Events lacking a filtered key are dropped by that criterion.
+        assert not filt.admits({"ev": "packet_created", "cycle": 0, "pid": 7})
+
+    def test_bus_applies_filter(self):
+        bus = TraceBus(filter=TraceFilter(events=["pc_chain"]))
+        sink = bus.attach(MemorySink())
+        bus.emit("sa_grant", 1, router=0, port=0)
+        bus.emit("pc_chain", 1, router=0, port=0)
+        assert [e["ev"] for e in sink.events] == ["pc_chain"]
+
+    def test_parse_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            TraceFilter.parse("router3")
+        with pytest.raises(ValueError):
+            TraceFilter.parse("flavor=spicy")
+        with pytest.raises(ValueError):
+            TraceFilter.parse("event=not_an_event")
+
+    def test_empty_expression_admits_all(self):
+        filt = TraceFilter.parse("")
+        assert filt.admits({"ev": "sa_grant", "cycle": 0})
+
+
+class TestTraceReconciliation:
+    """Acceptance: trace event counts match the StatsCollector totals."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        bus = TraceBus()
+        sink = bus.attach(MemorySink())
+        cfg = mesh_config(mesh_k=4, chaining="any_input", seed=3)
+        result, net = traced_run(cfg, rate=0.7, measure=300, trace=bus)
+        return result, net, sink.events
+
+    def test_drain_completed(self, traced):
+        result, _, _ = traced
+        assert result.drained is True
+
+    def test_pc_chain_events_match_chain_stats(self, traced):
+        result, _, events = traced
+        chains = sum(1 for e in events if e["ev"] == "pc_chain")
+        assert chains == result.chain_stats.total_chains > 0
+
+    def test_ejection_events_match_collector(self, traced):
+        _, net, events = traced
+        window = net.stats.window
+        in_window = [
+            e for e in events
+            if e["ev"] == "flit_ejected" and window[0] <= e["cycle"] < window[1]
+        ]
+        assert len(in_window) == net.stats.flits_ejected
+        tails = sum(1 for e in in_window if e["tail"])
+        assert tails == net.stats.packets_ejected
+
+    def test_sa_grant_events_present_and_bounded(self, traced):
+        _, _, events = traced
+        grants = sum(1 for e in events if e["ev"] == "sa_grant")
+        routed = sum(1 for e in events if e["ev"] == "flit_routed")
+        assert 0 < grants <= routed
+
+    def test_injected_events_match_created(self, traced):
+        _, _, events = traced
+        created = sum(1 for e in events if e["ev"] == "packet_created")
+        heads = sum(
+            1 for e in events if e["ev"] == "flit_injected" and e["idx"] == 0
+        )
+        assert heads == created  # fully drained: everything got injected
+
+    def test_event_types_are_known(self, traced):
+        _, _, events = traced
+        assert {e["ev"] for e in events} <= EVENT_TYPES
+
+    def test_report_reconstructs_chain_count(self, traced):
+        result, _, events = traced
+        summary = summarize_trace(events)
+        chained = sum(
+            (length - 1) * count
+            for length, count in summary.chain_lengths.items()
+        )
+        assert chained == result.chain_stats.total_chains
+
+    def test_conn_events_for_multiflit_packets(self):
+        bus = TraceBus()
+        sink = bus.attach(MemorySink())
+        cfg = mesh_config(mesh_k=4, chaining="same_input", seed=5)
+        traced_run(cfg, rate=0.5, measure=200, packet_length=4, trace=bus)
+        kinds = {e["ev"] for e in sink.events}
+        assert "conn_held" in kinds and "conn_released" in kinds
+        reasons = {
+            e["reason"] for e in sink.events if e["ev"] == "conn_released"
+        }
+        assert "tail" in reasons
+
+    def test_starvation_tick_emitted_under_threshold(self):
+        # Length-aware chaining refuses chains that would cross the
+        # threshold, so forced releases only happen when a single packet
+        # outlives it: packets (6 flits) longer than the threshold (4).
+        bus = TraceBus()
+        sink = bus.attach(MemorySink())
+        cfg = mesh_config(
+            mesh_k=4, chaining="any_input", starvation_threshold=4, seed=5
+        )
+        traced_run(cfg, rate=0.8, measure=300, packet_length=6, trace=bus)
+        ticks = [e for e in sink.events if e["ev"] == "starvation_tick"]
+        assert ticks and all(t["mode"] == "threshold" for t in ticks)
+        cuts = [
+            e for e in sink.events
+            if e["ev"] == "conn_released" and e["reason"] == "starvation"
+        ]
+        assert len(cuts) == len(ticks)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("flits").inc(3)
+        reg.counter("flits").inc(2)  # get-or-create accumulates
+        reg.gauge("load").set(0.5)
+        h = reg.histogram("lat", edges=(10, 20))
+        h.observe(5)
+        h.observe(15)
+        h.observe(99)
+        d = reg.to_dict()
+        assert d["counters"]["flits"] == 5
+        assert d["gauges"]["load"] == 0.5
+        assert d["histograms"]["lat"]["counts"] == [1, 1, 1]
+        assert d["histograms"]["lat"]["count"] == 3
+        assert d["histograms"]["lat"]["sum"] == 119.0
+
+    def test_counter_rejects_decrement(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_bucket_edges_are_inclusive_upper(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", edges=(10,))
+        h.observe(10)  # lands in the le=10 bucket, not overflow
+        assert h.counts == [1, 0]
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry(prefix="repro")
+        reg.counter("flits", help="total flits").inc(7)
+        h = reg.histogram("lat", edges=(10, 20), help="latency")
+        h.observe(15)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_flits counter" in text
+        assert "repro_flits 7" in text
+        assert 'repro_lat_bucket{le="10"} 0' in text
+        assert 'repro_lat_bucket{le="20"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+
+    def test_save_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        path = tmp_path / "m.json"
+        reg.save_json(str(path))
+        assert json.loads(path.read_text())["counters"]["c"] == 1
+
+    def test_publish_from_run(self):
+        reg = MetricsRegistry()
+        cfg = mesh_config(mesh_k=4, chaining="any_input", seed=2)
+        result = run_simulation(
+            cfg, rate=0.6, warmup=50, measure=150, drain=500, metrics=reg,
+        )
+        d = reg.to_dict()
+        assert d["counters"]["chains_total"] == result.chain_stats.total_chains
+        assert d["gauges"]["throughput_avg"] == pytest.approx(
+            result.avg_throughput
+        )
+        assert (
+            d["histograms"]["packet_latency_cycles"]["count"]
+            == result.packet_latency.count
+        )
+
+
+class TestPhaseProfiler:
+    def test_epoch_rollup(self):
+        prof = PhaseProfiler(epoch_cycles=10)
+        for _ in range(25):
+            prof.add("sa", 0.001)
+            prof.end_cycle()
+        prof.finish()
+        assert [e["cycles"] for e in prof.epochs] == [10, 10, 5]
+        assert prof.cycles_per_sec() > 0
+        assert prof.phase_totals()["sa"] == pytest.approx(0.025)
+
+    def test_to_dict_and_save(self, tmp_path):
+        prof = PhaseProfiler(epoch_cycles=5)
+        for _ in range(5):
+            prof.end_cycle()
+        prof.finish()
+        path = tmp_path / "p.json"
+        prof.save(str(path))
+        data = json.loads(path.read_text())
+        assert data["total_cycles"] == 5
+        assert data["epoch_cycles"] == 5
+        assert len(data["epochs"]) == 1
+
+    def test_run_simulation_attaches_profiler(self):
+        prof = PhaseProfiler(epoch_cycles=50)
+        cfg = mesh_config(mesh_k=4, chaining="same_input", seed=1)
+        result = run_simulation(
+            cfg, rate=0.3, warmup=50, measure=100, drain=100, profiler=prof,
+        )
+        assert result.timing is not None
+        assert result.timing["cycles_per_sec"] > 0
+        assert result.timing["phase_seconds"]["sa"] > 0
+        assert prof.cycles == result.cycles_run
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(epoch_cycles=0)
+
+
+class TestParallelProfiling:
+    def test_inline_sweep_carries_timing(self):
+        cfg = mesh_config(mesh_k=4, seed=1)
+        results = parallel_sweep(
+            cfg, [0.1, 0.2], workers=0, profile_epoch=100,
+            warmup=50, measure=100, drain=0,
+        )
+        assert len(results) == 2
+        for _, result in results:
+            assert result.timing is not None
+            assert result.timing["cycles_per_sec"] > 0
+
+
+class TestTraceReport:
+    def test_chain_run_stitching(self):
+        # conn held -> two same-cycle chained takeovers -> final release.
+        events = [
+            {"ev": "conn_held", "cycle": 1, "router": 0, "port": 2, "pid": 1},
+            {"ev": "conn_released", "cycle": 5, "router": 0, "port": 2,
+             "in_port": 1, "reason": "tail"},
+            {"ev": "pc_chain", "cycle": 5, "router": 0, "port": 2, "pid": 2},
+            {"ev": "conn_released", "cycle": 9, "router": 0, "port": 2,
+             "in_port": 1, "reason": "tail"},
+            {"ev": "pc_chain", "cycle": 9, "router": 0, "port": 2, "pid": 3},
+            {"ev": "conn_released", "cycle": 12, "router": 0, "port": 2,
+             "in_port": 1, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {3: 1}
+
+    def test_sa_tail_chain_starts_at_two(self):
+        events = [
+            {"ev": "pc_chain", "cycle": 4, "router": 1, "port": 0, "pid": 8},
+            {"ev": "conn_released", "cycle": 5, "router": 1, "port": 0,
+             "in_port": 3, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {2: 1}
+
+    def test_unchained_connection_counts_as_one(self):
+        events = [
+            {"ev": "conn_held", "cycle": 1, "router": 0, "port": 1, "pid": 1},
+            {"ev": "conn_released", "cycle": 4, "router": 0, "port": 1,
+             "in_port": 0, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {1: 1}
+
+    def test_stale_release_then_fresh_chain_splits_runs(self):
+        events = [
+            {"ev": "conn_held", "cycle": 1, "router": 0, "port": 1, "pid": 1},
+            {"ev": "conn_released", "cycle": 4, "router": 0, "port": 1,
+             "in_port": 0, "reason": "tail"},
+            # A later chain on the same port rides a NEW sa-tail
+            # connection; the old run must finalize at length 1.
+            {"ev": "pc_chain", "cycle": 9, "router": 0, "port": 1, "pid": 2},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {1: 1, 2: 1}
+
+    def test_format_report_sections(self):
+        events = [
+            {"ev": "flit_routed", "cycle": 2, "router": 0, "port": 1,
+             "pid": 1, "idx": 0, "in_port": 4, "in_vc": 0, "out_vc": 0},
+            {"ev": "sa_grant", "cycle": 2, "router": 0, "port": 1, "pid": 1,
+             "in_port": 4, "vc": 0, "out_vc": 0},
+            {"ev": "flit_ejected", "cycle": 7, "terminal": 3, "pid": 1,
+             "idx": 0, "tail": True, "latency": 7, "blocked": 2},
+        ]
+        text = format_report(summarize_trace(events))
+        assert "event counts" in text
+        assert "chain-length distribution" in text
+        assert "per-output-port contention" in text
+        assert "top 10 blocked packets" in text
+        assert "sa_grant" in text
+
+
+class TestCLIObservability:
+    def run_cli(self, *argv):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_run_trace_and_report(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code, text = self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.6", "--chaining", "any_input",
+            "--warmup", "50", "--measure", "200", "--drain", "500",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        assert "drain             : complete" in text
+        code, text = self.run_cli("report", str(trace))
+        assert code == 0
+        assert "chain-length distribution" in text
+        assert "chained takeovers reconstructed" in text
+
+    def test_trace_filter_limits_events(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code, _ = self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.4",
+            "--warmup", "50", "--measure", "100", "--drain", "100",
+            "--trace", str(trace), "--trace-filter", "event=sa_grant",
+        )
+        assert code == 0
+        events = read_jsonl(str(trace))
+        assert events and all(e["ev"] == "sa_grant" for e in events)
+
+    def test_metrics_export_json_and_prom(self, tmp_path):
+        mjson = tmp_path / "m.json"
+        mprom = tmp_path / "m.prom"
+        for path in (mjson, mprom):
+            code, _ = self.run_cli(
+                "run", "--mesh-k", "4", "--rate", "0.2",
+                "--warmup", "50", "--measure", "100", "--drain", "100",
+                "--metrics", str(path),
+            )
+            assert code == 0
+        assert "counters" in json.loads(mjson.read_text())
+        assert "# TYPE repro_flits_ejected counter" in mprom.read_text()
+
+    def test_run_json_output(self):
+        code, text = self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.2",
+            "--warmup", "50", "--measure", "100", "--drain", "100", "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["drained"] is True
+        assert "metrics" in payload
+        assert payload["avg_throughput"] > 0
+
+    def test_sweep_json_output(self):
+        code, text = self.run_cli(
+            "sweep", "--mesh-k", "4", "--rates", "0.05", "0.1",
+            "--warmup", "50", "--measure", "100", "--json",
+        )
+        assert code == 0
+        rows = json.loads(text)
+        assert [r["rate"] for r in rows] == [0.05, 0.1]
+        assert all("metrics" in r for r in rows)
+
+    def test_profile_output(self, tmp_path):
+        prof = tmp_path / "p.json"
+        code, text = self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.2",
+            "--warmup", "50", "--measure", "100", "--drain", "0",
+            "--profile", str(prof), "--profile-epoch", "50",
+        )
+        assert code == 0
+        assert "simulation speed" in text
+        data = json.loads(prof.read_text())
+        assert data["cycles_per_sec"] > 0
+        assert data["total_cycles"] == 150
+
+
+class TestDrainReporting:
+    def test_incomplete_drain_reported(self):
+        cfg = mesh_config(mesh_k=4, seed=1)
+        result = run_simulation(
+            cfg, rate=0.9, warmup=0, measure=200, drain=2,
+        )
+        assert result.drained is False
+        assert result.drain_cycles == 2
+
+    def test_no_drain_requested_is_none(self):
+        cfg = mesh_config(mesh_k=4, seed=1)
+        result = run_simulation(cfg, rate=0.1, warmup=0, measure=50, drain=0)
+        assert result.drained is None
+        assert result.drain_cycles == 0
+
+    def test_to_dict_round_trips(self):
+        cfg = mesh_config(mesh_k=4, seed=1)
+        result = run_simulation(cfg, rate=0.1, warmup=0, measure=50, drain=200)
+        data = result.to_dict()
+        json.dumps(data)  # fully serializable
+        assert data["drained"] is True
+        assert data["drain_cycles"] == result.drain_cycles
+        assert data["saturated"] == result.saturated
