@@ -1,4 +1,4 @@
-"""Observability overhead guarantee.
+"""Observability overhead guarantees.
 
 The trace bus promises zero overhead when disabled: every emission
 site guards on ``bus.active``, which is False both for the shared
@@ -7,6 +7,11 @@ measures the same simulation three ways — no bus, enabled bus with no
 sinks, and a bus with an in-memory sink actually collecting — and
 asserts the no-sink configuration stays within 5% of the baseline
 (DESIGN.md's disabled-by-default guarantee).
+
+The network-state sampler makes the analogous promise: an unattached
+network pays one ``is None`` check per cycle (inside the baseline), and
+an attached sampler at the default 100-cycle period stays within 5% of
+the unsampled baseline while never perturbing simulation results.
 """
 
 import time
@@ -14,29 +19,29 @@ import time
 from conftest import once, sim_cycles
 
 from repro.network.config import mesh_config
-from repro.obs import MemorySink, TraceBus
+from repro.obs import MemorySink, NetworkSampler, TraceBus
 from repro.sim.runner import run_simulation
 
 CYCLES = sim_cycles(warmup=100, measure=600)
 REPEATS = 5
 
 
-def timed_run(trace):
+def timed_run(trace, sampler=None):
     cfg = mesh_config(mesh_k=4, chaining="any_input", seed=11)
     start = time.perf_counter()
     result = run_simulation(
         cfg, rate=0.6, warmup=CYCLES["warmup"], measure=CYCLES["measure"],
-        drain=0, trace=trace,
+        drain=0, trace=trace, sampler=sampler,
     )
     return time.perf_counter() - start, result
 
 
-def best_of(make_trace):
+def best_of(make_trace, make_sampler=lambda: None):
     """Minimum wall time over REPEATS runs (noise-robust estimator)."""
     times = []
     result = None
     for _ in range(REPEATS):
-        elapsed, result = timed_run(make_trace())
+        elapsed, result = timed_run(make_trace(), sampler=make_sampler())
         times.append(elapsed)
     return min(times), result
 
@@ -76,4 +81,34 @@ def test_obs_overhead(benchmark, report):
 
     assert nosink_time <= base_time * 1.05, (
         f"sinkless trace bus added {overhead:.1f}% overhead (budget: 5%)"
+    )
+
+
+def run_sampler_experiment():
+    base_time, base = best_of(lambda: None)
+    sampled_time, sampled = best_of(
+        lambda: None, make_sampler=lambda: NetworkSampler(period=100)
+    )
+    # Sampling is read-only: simulation outcomes must be identical.
+    assert sampled.avg_throughput == base.avg_throughput
+    assert sampled.chain_stats.total_chains == base.chain_stats.total_chains
+    return base_time, sampled_time
+
+
+def test_sampler_overhead(benchmark, report):
+    base_time, sampled_time = once(benchmark, run_sampler_experiment)
+    overhead = 100 * (sampled_time / base_time - 1)
+
+    rep = report("Network-state sampler overhead at the default period")
+    rep.row("configuration", "seconds", "overhead", widths=[24, 10, 10])
+    rep.row("no sampler", f"{base_time:.3f}", "-", widths=[24, 10, 10])
+    rep.row("sampler, period=100", f"{sampled_time:.3f}",
+            f"{overhead:+.1f}%", widths=[24, 10, 10])
+    rep.line()
+    rep.line("guarantee: a 100-cycle sampler stays within 5% of the "
+             "unsampled baseline and never perturbs results")
+    rep.save()
+
+    assert sampled_time <= base_time * 1.05, (
+        f"sampler at period=100 added {overhead:.1f}% overhead (budget: 5%)"
     )

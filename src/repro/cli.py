@@ -7,6 +7,9 @@ Examples::
     python -m repro run --rate 0.4 --trace out.jsonl \\
         --trace-filter event=sa_grant|pc_chain --metrics metrics.json
     python -m repro sweep --rates 0.1 0.2 0.3 0.4 --chaining any_input --json
+    python -m repro run --rate 0.45 --trace out.jsonl.gz --artifacts runs/pc
+    python -m repro spans out.jsonl.gz --perfetto spans.json
+    python -m repro diff runs/baseline runs/pc --threshold 5
     python -m repro report out.jsonl
     python -m repro saturation --pattern tornado
     python -m repro cmp --workload blackscholes --chaining same_input \\
@@ -23,13 +26,21 @@ from repro.network.config import NetworkConfig
 from repro.obs import (
     JsonlSink,
     MetricsRegistry,
+    NetworkSampler,
     PhaseProfiler,
     TraceBus,
     TraceFilter,
+    build_spans,
+    compare_artifacts,
+    format_diff,
     format_report,
+    format_spans_report,
     read_jsonl,
     summarize_trace,
+    write_run_artifacts,
+    write_sweep_manifest,
 )
+from repro.obs.artifacts import rate_subdir
 from repro.sim.runner import run_simulation
 from repro.sim.sweep import find_saturation
 from repro.traffic import BimodalLength, FixedLength
@@ -98,18 +109,62 @@ def _add_obs_args(parser):
                         help="profiling epoch length in cycles")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
+    _add_recorder_args(parser)
+
+
+def _add_recorder_args(parser, sampling=True):
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write a self-describing run-artifact directory "
+                             "(manifest, summary, metrics; see 'repro diff')")
+    if sampling:
+        parser.add_argument("--samples", default=None, metavar="FILE",
+                            help="record periodic network-state samples to "
+                                 "JSONL (.gz compresses)")
+        parser.add_argument("--sample-period", type=int, default=100,
+                            metavar="N", help="cycles between network-state "
+                            "samples (with --samples/--artifacts)")
 
 
 def _obs_from(args):
-    """Build (trace bus, profiler, metrics registry) from CLI flags."""
+    """Build (trace bus, profiler, metrics, sampler) from CLI flags."""
     bus = None
     if args.trace:
         filt = TraceFilter.parse(args.trace_filter) if args.trace_filter else None
         bus = TraceBus(filter=filt)
         bus.attach(JsonlSink(args.trace))
     profiler = PhaseProfiler(args.profile_epoch) if args.profile else None
-    registry = MetricsRegistry() if (args.metrics or args.json) else None
-    return bus, profiler, registry
+    registry = (
+        MetricsRegistry()
+        if (args.metrics or args.json or args.artifacts)
+        else None
+    )
+    sampler = (
+        NetworkSampler(period=args.sample_period)
+        if (args.samples or args.artifacts)
+        else None
+    )
+    return bus, profiler, registry, sampler
+
+
+def _run_info_from(args, command):
+    """The reproduction block of an artifact manifest."""
+    info = {
+        "command": command,
+        "pattern": args.pattern,
+        "warmup": args.warmup,
+        "measure": args.measure,
+    }
+    if hasattr(args, "drain"):
+        info["drain"] = args.drain
+    if getattr(args, "bimodal", False):
+        info["lengths"] = "bimodal(1,5)"
+    else:
+        info["packet_length"] = args.packet_length
+    if hasattr(args, "rate"):
+        info["rate"] = args.rate
+    if hasattr(args, "rates"):
+        info["rates"] = list(args.rates)
+    return info
 
 
 def _finish_obs(args, bus, profiler):
@@ -153,14 +208,29 @@ def _print_result(result, out):
 
 
 def cmd_run(args, out):
-    bus, profiler, registry = _obs_from(args)
+    bus, profiler, registry, sampler = _obs_from(args)
+    config = _config_from(args)
     result = run_simulation(
-        _config_from(args), pattern=args.pattern, rate=args.rate,
+        config, pattern=args.pattern, rate=args.rate,
         lengths=_lengths_from(args), warmup=args.warmup,
         measure=args.measure, drain=args.drain,
-        trace=bus, profiler=profiler, metrics=registry,
+        trace=bus, profiler=profiler, metrics=registry, sampler=sampler,
     )
     _finish_obs(args, bus, profiler)
+    if args.samples:
+        sampler.save_jsonl(args.samples)
+    if args.artifacts:
+        span_set = None
+        if args.trace:
+            # The trace is on disk and closed; rebuild spans from it so
+            # the artifact carries the latency decomposition.
+            span_set = build_spans(read_jsonl(args.trace))
+            span_set.publish_metrics(registry)
+        write_run_artifacts(
+            args.artifacts, config, result, registry=registry,
+            run_info=_run_info_from(args, "run"),
+            sampler=sampler, span_set=span_set,
+        )
     if args.metrics:
         _save_metrics(registry, args.metrics)
     if args.json:
@@ -185,30 +255,48 @@ def cmd_run(args, out):
 
 
 def cmd_sweep(args, out):
-    rows = []
-    if not args.json:
-        out.write(f"{'rate':>6} {'accepted':>9} {'min-src':>8} {'latency':>8}\n")
-    for rate in args.rates:
-        registry = MetricsRegistry() if args.json else None
-        result = run_simulation(
-            _config_from(args), pattern=args.pattern, rate=rate,
-            lengths=_lengths_from(args), warmup=args.warmup,
-            measure=args.measure, drain=0, metrics=registry,
+    import os
+
+    from repro.sim.sweep import rate_sweep
+
+    want_metrics = args.json or args.artifacts
+    results = rate_sweep(
+        lambda: _config_from(args), args.rates,
+        metrics_factory=MetricsRegistry if want_metrics else None,
+        pattern=args.pattern, lengths=_lengths_from(args),
+        warmup=args.warmup, measure=args.measure, drain=0,
+    )
+    if not want_metrics:
+        results = [(rate, result, None) for rate, result in results]
+    if args.artifacts:
+        config = _config_from(args)
+        write_sweep_manifest(
+            args.artifacts, config, args.rates,
+            run_info=_run_info_from(args, "sweep"),
         )
-        if args.json:
+        for rate, result, registry in results:
+            write_run_artifacts(
+                os.path.join(args.artifacts, rate_subdir(rate)),
+                config, result, registry=registry,
+                run_info=dict(_run_info_from(args, "sweep"), rate=rate),
+            )
+    if args.json:
+        rows = []
+        for rate, result, registry in results:
             payload = result.to_dict()
             payload["rate"] = rate
             payload["metrics"] = registry.to_dict()
             rows.append(payload)
-        else:
+        json.dump(rows, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(f"{'rate':>6} {'accepted':>9} {'min-src':>8} {'latency':>8}\n")
+        for rate, result, _ in results:
             out.write(
                 f"{rate:>6.2f} {result.avg_throughput:>9.3f}"
                 f" {result.min_throughput:>8.3f}"
                 f" {result.packet_latency.mean:>8.1f}\n"
             )
-    if args.json:
-        json.dump(rows, out, indent=2, sort_keys=True)
-        out.write("\n")
     return 0
 
 
@@ -216,6 +304,34 @@ def cmd_report(args, out):
     events = read_jsonl(args.tracefile)
     out.write(format_report(summarize_trace(events), top=args.top))
     return 0
+
+
+def cmd_spans(args, out):
+    span_set = build_spans(read_jsonl(args.tracefile))
+    if args.perfetto:
+        span_set.save_chrome_trace(args.perfetto, limit=args.limit)
+    if args.json:
+        json.dump(span_set.decomposition(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(format_spans_report(span_set, top=args.top))
+        if args.perfetto:
+            out.write(f"perfetto trace    : {args.perfetto}\n")
+    return 0
+
+
+def cmd_diff(args, out):
+    try:
+        diff = compare_artifacts(args.base, args.new, args.threshold)
+    except (ValueError, OSError) as exc:
+        out.write(f"repro diff: {exc}\n")
+        return 2
+    if args.json:
+        json.dump(diff.to_dict(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(format_diff(diff))
+    return 1 if diff.regressions else 0
 
 
 def cmd_saturation(args, out):
@@ -276,13 +392,42 @@ def build_parser():
                    default=[0.1, 0.2, 0.3, 0.4, 0.5])
     p.add_argument("--json", action="store_true",
                    help="emit one JSON array of per-rate results")
+    _add_recorder_args(p, sampling=False)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("report", help="summarize a JSONL event trace")
-    p.add_argument("tracefile", help="trace written by run --trace")
+    p.add_argument("tracefile",
+                   help="trace written by run --trace (.gz ok, '-' = stdin)")
     p.add_argument("--top", type=int, default=10,
                    help="rows in the contention / blocked-packet tables")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "spans", help="per-packet latency decomposition from a trace"
+    )
+    p.add_argument("tracefile",
+                   help="trace written by run --trace (.gz ok, '-' = stdin)")
+    p.add_argument("--perfetto", default=None, metavar="FILE",
+                   help="also export Chrome trace-event JSON "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="cap the packets exported to the Perfetto trace")
+    p.add_argument("--top", type=int, default=5,
+                   help="rows in the worst-packets table")
+    p.add_argument("--json", action="store_true",
+                   help="emit the decomposition as JSON")
+    p.set_defaults(func=cmd_spans)
+
+    p = sub.add_parser(
+        "diff", help="compare two artifact dirs; exit 1 on regression"
+    )
+    p.add_argument("base", help="baseline artifact directory")
+    p.add_argument("new", help="candidate artifact directory")
+    p.add_argument("--threshold", type=float, default=5.0, metavar="PCT",
+                   help="percent change that counts as a regression")
+    p.add_argument("--json", action="store_true",
+                   help="emit the diff as JSON")
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("saturation", help="binary-search the saturation rate")
     _add_network_args(p)

@@ -37,6 +37,9 @@ class Network:
         #: branch per emission site.
         self.trace = trace if trace is not None else NULL_TRACE
         self.profiler = None
+        #: Optional periodic state sampler (obs.sampler). None costs one
+        #: branch per cycle.
+        self.sampler = None
         self.cycle = 0
 
         self.routers = [
@@ -118,6 +121,11 @@ class Network:
             router.profiler = profiler
         return profiler
 
+    def attach_sampler(self, sampler):
+        """Enable periodic network-state snapshots (obs.sampler)."""
+        self.sampler = sampler
+        return sampler.bind(self)
+
     def step(self):
         """Advance the network by one cycle."""
         now = self.cycle
@@ -130,6 +138,8 @@ class Network:
             source.step(now)
         for router in self.routers:
             router.step(now)
+        if self.sampler is not None:
+            self.sampler.maybe_sample(now)
         self.cycle += 1
         if self.profiler is not None:
             self.profiler.end_cycle()

@@ -131,11 +131,20 @@ class Router:
     # ------------------------------------------------------------------
 
     def receive(self, cycle):
+        tr = self.trace
         for p in range(self.radix):
             chan = self.in_flit_channels[p]
             if chan is not None:
                 for flit in chan.receive(cycle):
                     self.in_vcs[p][flit.vc].push(flit)
+                    if tr.active and flit.is_head:
+                        # Head arrival anchors the per-hop span: the
+                        # wait until sa_grant/pc_chain is allocation
+                        # latency (obs.spans).
+                        tr.emit(
+                            "head_arrived", cycle, router=self.router_id,
+                            in_port=p, vc=flit.vc, pid=flit.packet.pid,
+                        )
             chan = self.credit_return_channels[p]
             if chan is not None:
                 for vc in chan.receive(cycle):

@@ -1,20 +1,38 @@
-"""Observability for the simulation core: tracing, metrics, profiling.
+"""Observability for the simulation core: tracing, metrics, profiling,
+spans, sampling, and run artifacts.
 
-Three independent instruments, all zero-overhead when unused:
+Instruments, all zero-overhead when unused:
 
 - :mod:`repro.obs.trace` — a typed event bus (``TraceBus``) the router,
   terminals, and injectors emit structured per-cycle events into, with
-  JSONL and in-memory sinks and per-event filtering;
+  JSONL (plain or gzip) and in-memory sinks and per-event filtering;
 - :mod:`repro.obs.metrics` — a registry of counters, gauges, and
   fixed-bucket histograms with JSON and Prometheus-text export;
 - :mod:`repro.obs.profiler` — per-epoch wall-clock timing of the router
-  pipeline phases, reporting cycles/sec.
+  pipeline phases, reporting cycles/sec;
+- :mod:`repro.obs.spans` — per-packet lifecycle reconstruction from a
+  trace: the latency decomposition (queueing vs allocation vs
+  serialization) behind the paper's headline claim, with Chrome
+  trace-event / Perfetto export (``repro spans``);
+- :mod:`repro.obs.sampler` — periodic whole-network state snapshots
+  (buffer occupancy, credits, held connections, link utilization) in a
+  bounded ring buffer, with JSONL export and ASCII heatmaps;
+- :mod:`repro.obs.artifacts` — the run-artifact flight recorder
+  (``--artifacts DIR``) and regression differ (``repro diff``).
 
 :mod:`repro.obs.report` summarizes a trace file (chain-length
 distribution, port contention, top-blocked packets) for ``repro
 report``.
 """
 
+from repro.obs.artifacts import (
+    ArtifactDiff,
+    DiffRow,
+    compare_artifacts,
+    format_diff,
+    write_run_artifacts,
+    write_sweep_manifest,
+)
 from repro.obs.metrics import (
     CHAIN_LENGTH_EDGES,
     LATENCY_EDGES,
@@ -25,6 +43,14 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import PHASES, PhaseProfiler
 from repro.obs.report import TraceSummary, format_report, summarize_trace
+from repro.obs.sampler import SAMPLE_FIELDS, NetworkSampler
+from repro.obs.spans import (
+    SPAN_COMPONENTS,
+    PacketSpan,
+    SpanSet,
+    build_spans,
+    format_spans_report,
+)
 from repro.obs.trace import (
     EVENT_TYPES,
     NULL_TRACE,
@@ -32,6 +58,8 @@ from repro.obs.trace import (
     MemorySink,
     TraceBus,
     TraceFilter,
+    open_text_read,
+    open_text_write,
     read_jsonl,
 )
 
@@ -43,6 +71,8 @@ __all__ = [
     "NULL_TRACE",
     "EVENT_TYPES",
     "read_jsonl",
+    "open_text_read",
+    "open_text_write",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -54,4 +84,17 @@ __all__ = [
     "TraceSummary",
     "summarize_trace",
     "format_report",
+    "SpanSet",
+    "PacketSpan",
+    "SPAN_COMPONENTS",
+    "build_spans",
+    "format_spans_report",
+    "NetworkSampler",
+    "SAMPLE_FIELDS",
+    "write_run_artifacts",
+    "write_sweep_manifest",
+    "compare_artifacts",
+    "format_diff",
+    "ArtifactDiff",
+    "DiffRow",
 ]

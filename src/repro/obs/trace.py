@@ -18,13 +18,16 @@ Common keys: ``ev`` (event type), ``cycle``, and — where meaningful —
 id). Remaining keys are event-specific.
 """
 
+import gzip
 import json
+import sys
 
 #: The typed events the simulation core emits.
 EVENT_TYPES = frozenset(
     {
         "packet_created",  # injector generated a packet (traffic/injection)
         "flit_injected",  # source put a flit on its injection channel
+        "head_arrived",  # head flit entered a router's input VC
         "flit_routed",  # router sent a flit out a port (switch traversal)
         "sa_grant",  # switch allocator grant committed
         "pc_chain",  # packet chaining took over a connection
@@ -118,12 +121,32 @@ class MemorySink:
         pass
 
 
+def open_text_write(path):
+    """Open ``path`` for text writing; ``.gz`` paths are gzip-compressed."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "wt")
+    return open(path, "w")
+
+
+def open_text_read(path):
+    """Open ``path`` for text reading: ``-`` is stdin, ``.gz`` is gzip."""
+    if str(path) == "-":
+        return sys.stdin
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "rt")
+    return open(path)
+
+
 class JsonlSink:
-    """Appends one JSON object per line to a file."""
+    """Appends one JSON object per line to a file (gzipped if ``.gz``).
+
+    Usable as a context manager: ``with JsonlSink(path) as sink: ...``
+    closes the file on exit.
+    """
 
     def __init__(self, path):
         self.path = path
-        self._fh = open(path, "w")
+        self._fh = open_text_write(path)
 
     def write(self, event):
         self._fh.write(json.dumps(event, separators=(",", ":")))
@@ -133,6 +156,13 @@ class JsonlSink:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
 
 class TraceBus:
@@ -196,6 +226,13 @@ class TraceBus:
         self.sinks = []
         self._refresh()
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
 
 #: Shared inert bus: ``active`` is always False (no sinks are ever
 #: attached), so components can unconditionally hold a trace reference.
@@ -203,11 +240,19 @@ NULL_TRACE = TraceBus(enabled=False)
 
 
 def read_jsonl(path):
-    """Load a JSONL trace file back into a list of event dicts."""
+    """Load a JSONL trace back into a list of event dicts.
+
+    ``path`` may be a plain file, a ``.gz`` gzip-compressed file, or
+    ``-`` for stdin (so traces pipe straight into ``repro report``).
+    """
     events = []
-    with open(path) as fh:
+    fh = open_text_read(path)
+    try:
         for line in fh:
             line = line.strip()
             if line:
                 events.append(json.loads(line))
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
     return events

@@ -77,6 +77,7 @@ def run_simulation(
     trace=None,
     profiler=None,
     metrics=None,
+    sampler=None,
 ):
     """Build and execute one simulation; returns a :class:`SimResult`.
 
@@ -87,15 +88,19 @@ def run_simulation(
     Observability (all optional, all zero-overhead when omitted):
     ``trace`` is a :class:`~repro.obs.trace.TraceBus` to emit events
     into, ``profiler`` a :class:`~repro.obs.profiler.PhaseProfiler` to
-    attach (its summary lands in ``SimResult.timing``), and ``metrics``
+    attach (its summary lands in ``SimResult.timing``), ``metrics``
     a :class:`~repro.obs.metrics.MetricsRegistry` the finished run
-    publishes into.
+    publishes into, and ``sampler`` a
+    :class:`~repro.obs.sampler.NetworkSampler` snapshotting network
+    state every N cycles.
     """
     if seed is not None:
         config.seed = seed
     net = Network(config, trace=trace)
     if profiler is not None:
         net.attach_profiler(profiler)
+    if sampler is not None:
+        net.attach_sampler(sampler)
     traffic_rng = random.Random(config.seed + 0x5EED)
     dist = lengths if lengths is not None else FixedLength(packet_length)
     pat = build_pattern(pattern, net.num_terminals, traffic_rng)

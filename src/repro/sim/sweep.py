@@ -3,17 +3,29 @@
 from repro.sim.runner import run_simulation
 
 
-def rate_sweep(config_factory, rates, **run_kwargs):
+def rate_sweep(config_factory, rates, metrics_factory=None, **run_kwargs):
     """Run one simulation per injection rate.
 
     ``config_factory`` is a zero-argument callable returning a *fresh*
     NetworkConfig (router/allocator state must not leak between runs).
     Returns a list of (rate, SimResult).
+
+    ``metrics_factory``, if given, is called once per rate and must
+    return a fresh :class:`~repro.obs.metrics.MetricsRegistry` the run
+    publishes into; the sweep then returns (rate, SimResult, registry)
+    triples instead. (Registries hold end-of-run snapshots, so each
+    rate needs its own — sharing one would sum counters across rates.)
     """
     results = []
     for rate in rates:
-        result = run_simulation(config_factory(), rate=rate, **run_kwargs)
-        results.append((rate, result))
+        registry = metrics_factory() if metrics_factory is not None else None
+        result = run_simulation(
+            config_factory(), rate=rate, metrics=registry, **run_kwargs
+        )
+        if metrics_factory is not None:
+            results.append((rate, result, registry))
+        else:
+            results.append((rate, result))
     return results
 
 

@@ -14,6 +14,11 @@ class StatsCollector:
     def __init__(self, num_terminals):
         self.num_terminals = num_terminals
         self.window = None  # (start, end) or None while not measuring
+        # Ejection listener hooks (survive reset): instruments like
+        # TimeSeries register callables instead of wrapping record_*
+        # methods, so several observers compose without monkey-patching.
+        self._flit_hooks = []
+        self._packet_hooks = []
         self.reset()
 
     def reset(self):
@@ -29,6 +34,39 @@ class StatsCollector:
 
     def set_window(self, start, end):
         self.window = (start, end)
+
+    # --- listener registration -------------------------------------------
+
+    def add_listener(self, listener):
+        """Register an ejection observer; returns ``listener``.
+
+        ``listener`` may implement ``on_flit_ejected(flit, cycle)``
+        and/or ``on_packet_ejected(packet, cycle)``; whichever methods
+        exist are called on **every** ejection (window filtering is the
+        listener's business, not the collector's). The hot path pays a
+        truthiness check per ejection when no listeners are registered.
+        """
+        flit_hook = getattr(listener, "on_flit_ejected", None)
+        packet_hook = getattr(listener, "on_packet_ejected", None)
+        if flit_hook is None and packet_hook is None:
+            raise TypeError(
+                "listener implements neither on_flit_ejected nor "
+                "on_packet_ejected"
+            )
+        if flit_hook is not None:
+            self._flit_hooks.append(flit_hook)
+        if packet_hook is not None:
+            self._packet_hooks.append(packet_hook)
+        return listener
+
+    def remove_listener(self, listener):
+        """Unregister a listener added with :meth:`add_listener`."""
+        flit_hook = getattr(listener, "on_flit_ejected", None)
+        packet_hook = getattr(listener, "on_packet_ejected", None)
+        if flit_hook in self._flit_hooks:
+            self._flit_hooks.remove(flit_hook)
+        if packet_hook in self._packet_hooks:
+            self._packet_hooks.remove(packet_hook)
 
     # --- hooks called by the simulation ---------------------------------
 
@@ -47,9 +85,15 @@ class StatsCollector:
         if self.in_window(cycle):
             self.flits_ejected_per_source[flit.packet.src] += 1
             self.flits_ejected += 1
+        if self._flit_hooks:
+            for hook in self._flit_hooks:
+                hook(flit, cycle)
 
     def record_ejected(self, packet, cycle):
         """Called on tail ejection; latency sample if created in-window."""
+        if self._packet_hooks:
+            for hook in self._packet_hooks:
+                hook(packet, cycle)
         if self.in_window(cycle):
             self.packets_ejected += 1
         if self.window is None or packet.time_created < self.window[0]:

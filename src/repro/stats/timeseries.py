@@ -3,9 +3,10 @@
 Records per-window accepted throughput and mean latency while a
 simulation runs — the instrument behind stability studies like
 Figure 5 (is throughput flat or collapsing past saturation?) and for
-visualizing bursty workloads. Attach to a network's stats collector by
-calling :meth:`on_flit` / :meth:`on_packet` from a subclass, or use
-:func:`attach` to wrap an existing collector in place.
+visualizing bursty workloads. Attach to a network's stats collector via
+its listener API (``collector.add_listener(series)``; :func:`attach` is
+the one-line convenience form), or drive :meth:`on_flit` /
+:meth:`on_packet` directly.
 """
 
 from dataclasses import dataclass
@@ -56,6 +57,15 @@ class TimeSeries:
         s.packets += 1
         s.latency_sum += latency
 
+    # --- StatsCollector listener protocol --------------------------------
+
+    def on_flit_ejected(self, flit, cycle):
+        self.on_flit(cycle)
+
+    def on_packet_ejected(self, packet, cycle):
+        if packet.time_created is not None:
+            self.on_packet(cycle, cycle - packet.time_created)
+
     def throughput_series(self):
         return [
             s.throughput(self.num_terminals, self.window) for s in self.samples
@@ -78,23 +88,11 @@ class TimeSeries:
 
 
 def attach(collector, window):
-    """Wrap a StatsCollector's recording hooks with a TimeSeries.
+    """Register a new TimeSeries on a StatsCollector's listener hooks.
 
-    Returns the TimeSeries; the collector keeps working as before.
+    Returns the TimeSeries; the collector keeps working as before, and
+    any number of instruments can attach to the same collector (they
+    compose through ``StatsCollector.add_listener`` instead of wrapping
+    each other's methods).
     """
-    series = TimeSeries(window, collector.num_terminals)
-    orig_flit = collector.record_flit_ejected
-    orig_packet = collector.record_ejected
-
-    def record_flit(flit, cycle):
-        orig_flit(flit, cycle)
-        series.on_flit(cycle)
-
-    def record_packet(packet, cycle):
-        orig_packet(packet, cycle)
-        if packet.time_created is not None:
-            series.on_packet(cycle, cycle - packet.time_created)
-
-    collector.record_flit_ejected = record_flit
-    collector.record_ejected = record_packet
-    return series
+    return collector.add_listener(TimeSeries(window, collector.num_terminals))

@@ -471,6 +471,292 @@ class TestCLIObservability:
         assert data["total_cycles"] == 150
 
 
+class TestTraceIO:
+    def test_gzip_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        bus = TraceBus()
+        bus.attach(JsonlSink(str(path)))
+        bus.emit("sa_grant", 1, router=0, port=0, pid=1)
+        bus.close()
+        import gzip
+
+        with gzip.open(path, "rt") as fh:
+            assert json.loads(fh.readline())["ev"] == "sa_grant"
+        assert read_jsonl(str(path))[0]["cycle"] == 1
+
+    def test_jsonl_sink_context_manager(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.write({"ev": "vc_free", "cycle": 2})
+        assert read_jsonl(str(path)) == [{"ev": "vc_free", "cycle": 2}]
+        sink.close()  # idempotent after exit
+
+    def test_trace_bus_context_manager(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceBus() as bus:
+            bus.attach(JsonlSink(str(path)))
+            bus.emit("pc_chain", 4, router=1, port=0, pid=2)
+        assert not bus.active  # sinks closed and detached on exit
+        assert read_jsonl(str(path))[0]["ev"] == "pc_chain"
+
+    def test_read_jsonl_from_stdin(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"ev": "sa_grant", "cycle": 3}\n\n')
+        )
+        events = read_jsonl("-")
+        assert events == [{"ev": "sa_grant", "cycle": 3}]
+
+    def test_report_cli_reads_gzip(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl.gz"
+        with TraceBus() as bus:
+            bus.attach(JsonlSink(str(path)))
+            bus.emit("conn_held", 1, router=0, port=1, pid=1)
+            bus.emit("conn_released", 4, router=0, port=1, in_port=0,
+                     reason="tail")
+        out = io.StringIO()
+        assert main(["report", str(path)], out=out) == 0
+        assert "chain-length distribution" in out.getvalue()
+
+
+class TestStatsListeners:
+    def _collector(self):
+        from repro.stats.collector import StatsCollector
+
+        c = StatsCollector(num_terminals=4)
+        c.set_window(0, 100)
+        return c
+
+    class _Recorder:
+        def __init__(self):
+            self.flits = []
+            self.packets = []
+
+        def on_flit_ejected(self, flit, cycle):
+            self.flits.append(cycle)
+
+        def on_packet_ejected(self, packet, cycle):
+            self.packets.append(cycle)
+
+    class _Packet:
+        def __init__(self, src=0, size=1, created=0):
+            self.src = src
+            self.size = size
+            self.time_created = created
+            self.time_injected = created
+            self.blocked_cycles = 0
+
+    class _Flit:
+        def __init__(self, packet):
+            self.packet = packet
+
+    def test_listener_receives_ejections(self):
+        c = self._collector()
+        rec = c.add_listener(self._Recorder())
+        pkt = self._Packet()
+        c.record_flit_ejected(self._Flit(pkt), 5)
+        c.record_ejected(pkt, 5)
+        assert rec.flits == [5]
+        assert rec.packets == [5]
+
+    def test_listener_sees_out_of_window_events(self):
+        # Window filtering is the listener's business, not the
+        # collector's: hooks fire on every ejection.
+        c = self._collector()
+        rec = c.add_listener(self._Recorder())
+        pkt = self._Packet(created=500)
+        c.record_flit_ejected(self._Flit(pkt), 500)
+        c.record_ejected(pkt, 505)
+        assert rec.flits == [500]
+        assert rec.packets == [505]
+        assert c.flits_ejected == 0  # collector's window still applies
+
+    def test_remove_listener(self):
+        c = self._collector()
+        rec = c.add_listener(self._Recorder())
+        c.remove_listener(rec)
+        pkt = self._Packet()
+        c.record_flit_ejected(self._Flit(pkt), 1)
+        c.record_ejected(pkt, 1)
+        assert rec.flits == [] and rec.packets == []
+
+    def test_listeners_survive_reset(self):
+        c = self._collector()
+        rec = c.add_listener(self._Recorder())
+        c.reset()
+        c.record_flit_ejected(self._Flit(self._Packet()), 2)
+        assert rec.flits == [2]
+
+    def test_partial_listener_allowed(self):
+        class FlitOnly:
+            def __init__(self):
+                self.seen = 0
+
+            def on_flit_ejected(self, flit, cycle):
+                self.seen += 1
+
+        c = self._collector()
+        listener = c.add_listener(FlitOnly())
+        pkt = self._Packet()
+        c.record_flit_ejected(self._Flit(pkt), 1)
+        c.record_ejected(pkt, 1)
+        assert listener.seen == 1
+
+    def test_hookless_listener_rejected(self):
+        c = self._collector()
+        with pytest.raises(TypeError):
+            c.add_listener(object())
+
+    def test_timeseries_attach_uses_listener_api(self):
+        from repro.stats.timeseries import attach
+
+        c = self._collector()
+        series = attach(c, window=10)
+        pkt = self._Packet()
+        c.record_flit_ejected(self._Flit(pkt), 3)
+        c.record_ejected(pkt, 7)
+        assert series.samples[0].flits == 1
+        assert series.samples[0].packets == 1
+        # The collector's own methods are untouched (no monkey-patching).
+        assert c.record_flit_ejected.__func__ is (
+            type(c).record_flit_ejected
+        )
+
+
+class TestTraceReportEdgeCases:
+    """The three chain-run stitching branches under degraded traces."""
+
+    def test_lost_release_finalizes_stale_run(self):
+        # The release event was filtered out of the trace: a fresh
+        # conn_held on the same port must close the old run at its
+        # current length instead of merging the two holds.
+        events = [
+            {"ev": "conn_held", "cycle": 1, "router": 0, "port": 2, "pid": 1},
+            {"ev": "conn_released", "cycle": 3, "router": 0, "port": 2,
+             "in_port": 1, "reason": "tail"},
+            {"ev": "pc_chain", "cycle": 3, "router": 0, "port": 2, "pid": 2},
+            # pid 2's release never made it into the trace.
+            {"ev": "conn_held", "cycle": 9, "router": 0, "port": 2, "pid": 3},
+            {"ev": "conn_released", "cycle": 12, "router": 0, "port": 2,
+             "in_port": 1, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {2: 1, 1: 1}
+
+    def test_same_cycle_chain_onto_sa_formed_connection(self):
+        # An SA tail grant forms and consumes a connection in one cycle
+        # (no conn_held is ever emitted); a same-cycle pc_chain rides
+        # it, and further chains extend the same run.
+        events = [
+            {"ev": "pc_chain", "cycle": 6, "router": 2, "port": 3, "pid": 4},
+            {"ev": "conn_released", "cycle": 8, "router": 2, "port": 3,
+             "in_port": 0, "reason": "tail"},
+            {"ev": "pc_chain", "cycle": 8, "router": 2, "port": 3, "pid": 5},
+            {"ev": "conn_released", "cycle": 11, "router": 2, "port": 3,
+             "in_port": 0, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {3: 1}
+
+    def test_aged_out_release_splits_runs(self):
+        # The held connection released un-chained; a pc_chain several
+        # cycles later belongs to a NEW (SA-formed) connection, so the
+        # old run finalizes at its pre-release length.
+        events = [
+            {"ev": "conn_held", "cycle": 1, "router": 0, "port": 1, "pid": 1},
+            {"ev": "conn_released", "cycle": 4, "router": 0, "port": 1,
+             "in_port": 0, "reason": "tail"},
+            {"ev": "pc_chain", "cycle": 9, "router": 0, "port": 1, "pid": 2},
+            {"ev": "conn_released", "cycle": 12, "router": 0, "port": 1,
+             "in_port": 0, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {1: 1, 2: 1}
+
+    def test_starvation_release_then_rechain_splits_runs(self):
+        # A starvation cut is a non-tail release: the next-cycle chain
+        # rides a fresh connection, not the cut one.
+        events = [
+            {"ev": "conn_held", "cycle": 1, "router": 3, "port": 0, "pid": 1},
+            {"ev": "pc_chain", "cycle": 4, "router": 3, "port": 0, "pid": 2},
+            {"ev": "conn_released", "cycle": 7, "router": 3, "port": 0,
+             "in_port": 2, "reason": "starvation"},
+            {"ev": "pc_chain", "cycle": 9, "router": 3, "port": 0, "pid": 3},
+            {"ev": "conn_released", "cycle": 11, "router": 3, "port": 0,
+             "in_port": 1, "reason": "tail"},
+        ]
+        summary = summarize_trace(events)
+        assert dict(summary.chain_lengths) == {2: 2}
+
+
+class TestCLISpansAndSamples:
+    def run_cli(self, *argv):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_spans_subcommand_text_and_perfetto(self, tmp_path):
+        trace = tmp_path / "t.jsonl.gz"
+        perfetto = tmp_path / "chrome.json"
+        code, _ = self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.4", "--chaining",
+            "any_input", "--warmup", "50", "--measure", "200",
+            "--drain", "500", "--trace", str(trace),
+        )
+        assert code == 0
+        code, text = self.run_cli(
+            "spans", str(trace), "--perfetto", str(perfetto),
+            "--limit", "20", "--top", "3",
+        )
+        assert code == 0
+        assert "latency decomposition" in text
+        assert "complete packets (0 incomplete dropped)" in text
+        chrome = json.loads(perfetto.read_text())
+        assert chrome["traceEvents"]
+        assert len({
+            e["tid"] for e in chrome["traceEvents"]
+        }) <= 20
+
+    def test_spans_json_output(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.3", "--warmup", "50",
+            "--measure", "150", "--drain", "500", "--trace", str(trace),
+        )
+        code, text = self.run_cli("spans", str(trace), "--json")
+        assert code == 0
+        decomp = json.loads(text)
+        assert decomp["packets"] > 0
+        assert set(decomp["mean"]) == {
+            "source_queue", "vc_wait", "sa_wait", "traversal",
+            "serialization",
+        }
+
+    def test_samples_flag_writes_jsonl(self, tmp_path):
+        samples = tmp_path / "s.jsonl"
+        code, _ = self.run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.3", "--warmup", "0",
+            "--measure", "200", "--drain", "0",
+            "--samples", str(samples), "--sample-period", "50",
+        )
+        assert code == 0
+        rows = [
+            json.loads(line)
+            for line in samples.read_text().strip().split("\n")
+        ]
+        assert [r["cycle"] for r in rows] == [0, 50, 100, 150]
+        assert all(len(r["buffered"]) == 16 for r in rows)
+
+
 class TestDrainReporting:
     def test_incomplete_drain_reported(self):
         cfg = mesh_config(mesh_k=4, seed=1)
