@@ -15,6 +15,9 @@ Examples::
     python -m repro cmp --workload blackscholes --chaining same_input \\
         --starvation-threshold 8
     python -m repro cost --radix 10
+    python -m repro run --rate 0.2 --faults examples/faultplan.json \\
+        --reliable --invariants strict --watchdog 2000
+    python -m repro faults --random-links 2 --drop 0.0005 --rate 0.2
 """
 
 import argparse
@@ -22,6 +25,13 @@ import json
 import sys
 
 from repro.core.cost_model import AllocatorCostModel
+from repro.faults import (
+    FaultController,
+    FaultPlan,
+    HangWatchdog,
+    InvariantChecker,
+    ReliableTransport,
+)
 from repro.network.config import NetworkConfig
 from repro.obs import (
     JsonlSink,
@@ -146,6 +156,85 @@ def _obs_from(args):
     return bus, profiler, registry, sampler
 
 
+def _add_fault_args(parser):
+    parser.add_argument("--faults", default=None, metavar="FILE",
+                        help="inject faults from a FaultPlan JSON file")
+    parser.add_argument("--reliable", action="store_true",
+                        help="end-to-end reliable delivery (seq numbers, "
+                             "acks, bounded retransmission)")
+    parser.add_argument("--reliable-timeout", type=int, default=512,
+                        metavar="CYCLES", help="retransmission timeout")
+    parser.add_argument("--reliable-retries", type=int, default=4,
+                        metavar="N", help="retry budget per packet")
+    parser.add_argument("--invariants", default="off",
+                        choices=["off", "strict", "report"],
+                        help="runtime invariant checking (credit/flit "
+                             "conservation, buffer bounds, connections)")
+    parser.add_argument("--invariant-period", type=int, default=64,
+                        metavar="N", help="cycles between invariant sweeps")
+    parser.add_argument("--watchdog", type=int, default=0, metavar="CYCLES",
+                        help="deadlock/livelock watchdog window (0 = off)")
+    parser.add_argument("--watchdog-dump", default=None, metavar="FILE",
+                        help="write the watchdog's diagnostic bundle here "
+                             "on a hang")
+
+
+def _faults_from(args):
+    """Build (controller, transport, invariants, watchdog) from flags."""
+    controller = None
+    if args.faults:
+        controller = FaultController(FaultPlan.load(args.faults))
+    transport = None
+    if args.reliable:
+        transport = ReliableTransport(
+            timeout=args.reliable_timeout, max_retries=args.reliable_retries
+        )
+    checker = None
+    if args.invariants != "off":
+        checker = InvariantChecker(
+            period=args.invariant_period, mode=args.invariants
+        )
+    watchdog = None
+    if args.watchdog:
+        watchdog = HangWatchdog(
+            window=args.watchdog, dump_path=args.watchdog_dump
+        )
+    return controller, transport, checker, watchdog
+
+
+def _print_fault_summary(result, out):
+    parts = result.faults or {}
+    inj = parts.get("injection")
+    if inj:
+        out.write(
+            f"faults            : {inj['failed_links']} link,"
+            f" {inj['failed_routers']} router;"
+            f" {inj['dropped_flits']} flits dropped,"
+            f" {inj['corrupted_flits']} corrupted,"
+            f" {inj['killed_packets']} packets killed,"
+            f" {inj['detours']} detours\n"
+        )
+    tx = parts.get("transport")
+    if tx:
+        out.write(
+            f"reliability       : {tx['delivered']}/{tx['tracked']}"
+            f" delivered, {tx['retransmissions']} retransmissions,"
+            f" {tx['duplicates']} duplicates, {tx['failed']} failed\n"
+        )
+    inv = parts.get("invariants")
+    if inv:
+        out.write(
+            f"invariants        : {inv['checks_run']} sweeps"
+            f" ({inv['mode']}), {inv['violations']} violations\n"
+        )
+    wd = parts.get("watchdog")
+    if wd:
+        out.write(
+            f"watchdog          : window {wd['window']},"
+            f" {wd['hangs']} hangs\n"
+        )
+
+
 def _run_info_from(args, command):
     """The reproduction block of an artifact manifest."""
     info = {
@@ -210,11 +299,14 @@ def _print_result(result, out):
 def cmd_run(args, out):
     bus, profiler, registry, sampler = _obs_from(args)
     config = _config_from(args)
+    controller, transport, checker, watchdog = _faults_from(args)
     result = run_simulation(
         config, pattern=args.pattern, rate=args.rate,
         lengths=_lengths_from(args), warmup=args.warmup,
         measure=args.measure, drain=args.drain,
         trace=bus, profiler=profiler, metrics=registry, sampler=sampler,
+        faults=controller, transport=transport, invariants=checker,
+        watchdog=watchdog,
     )
     _finish_obs(args, bus, profiler)
     if args.samples:
@@ -251,7 +343,92 @@ def cmd_run(args, out):
                 f"simulation speed  : {result.timing['cycles_per_sec']:.0f}"
                 f" cycles/sec\n"
             )
+        _print_fault_summary(result, out)
     return 0
+
+
+def cmd_faults(args, out):
+    """Fault-injection study: run a plan, report resilience."""
+    from repro.faults.watchdog import WatchdogError
+
+    config = _config_from(args)
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = _random_plan(args, config)
+    if args.save_plan:
+        plan.save(args.save_plan)
+        if not args.plan:
+            out.write(f"fault plan        : saved to {args.save_plan}\n")
+    controller = FaultController(plan)
+    transport = (
+        None if args.unreliable
+        else ReliableTransport(timeout=args.reliable_timeout,
+                               max_retries=args.reliable_retries)
+    )
+    checker = (
+        None if args.invariants == "off"
+        else InvariantChecker(period=args.invariant_period,
+                              mode=args.invariants)
+    )
+    watchdog = HangWatchdog(
+        window=args.watchdog, dump_path=args.watchdog_dump
+    ) if args.watchdog else None
+    try:
+        result = run_simulation(
+            config, pattern=args.pattern, rate=args.rate,
+            lengths=_lengths_from(args), warmup=args.warmup,
+            measure=args.measure, drain=args.drain,
+            faults=controller, transport=transport, invariants=checker,
+            watchdog=watchdog,
+        )
+    except WatchdogError as exc:
+        out.write(f"repro faults: {exc}\n")
+        if args.watchdog_dump:
+            out.write(f"diagnostics       : {args.watchdog_dump}\n")
+        return 3
+    if args.json:
+        payload = result.to_dict()
+        payload["plan"] = plan.to_dict()
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    _print_result(result, out)
+    if result.drained is not None:
+        state = "complete" if result.drained else "INCOMPLETE"
+        out.write(
+            f"drain             : {state} after {result.drain_cycles} cycles\n"
+        )
+    _print_fault_summary(result, out)
+    tx = (result.faults or {}).get("transport")
+    if tx and tx["failed"]:
+        return 1
+    return 0
+
+
+def _random_plan(args, config):
+    """A seeded random plan: N link faults + the background error rates."""
+    import random as _random
+
+    from repro.faults.plan import FlitErrors, LinkFault
+    from repro.network.network import Network
+
+    topo = Network(config).topology
+    rng = _random.Random(args.seed)
+    wired = [
+        (r, p)
+        for r in range(topo.num_routers)
+        for p in range(topo.radix(r))
+        if topo.link(r, p) is not None
+    ]
+    links = [
+        LinkFault(r, p, cycle=rng.randrange(0, max(1, args.warmup)))
+        for r, p in rng.sample(wired, min(args.random_links, len(wired)))
+    ]
+    errors = None
+    if args.drop or args.corrupt:
+        errors = FlitErrors(drop=args.drop, corrupt=args.corrupt)
+    return FaultPlan(seed=args.seed, links=links, flit_errors=errors)
 
 
 def cmd_sweep(args, out):
@@ -382,8 +559,47 @@ def build_parser():
     _add_network_args(p)
     _add_traffic_args(p)
     _add_obs_args(p)
+    _add_fault_args(p)
     p.add_argument("--rate", type=float, default=0.4)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection study: run a plan, report resilience"
+    )
+    _add_network_args(p)
+    _add_traffic_args(p)
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--plan", default=None, metavar="FILE",
+                   help="FaultPlan JSON file (default: generate a seeded "
+                        "random plan from the flags below)")
+    p.add_argument("--random-links", type=int, default=2, metavar="N",
+                   help="link faults in the generated plan")
+    p.add_argument("--drop", type=float, default=0.0, metavar="P",
+                   help="per-flit transient drop probability")
+    p.add_argument("--corrupt", type=float, default=0.0, metavar="P",
+                   help="per-flit transient corruption probability")
+    p.add_argument("--save-plan", default=None, metavar="FILE",
+                   help="save the plan actually used (handy with generated "
+                        "plans)")
+    p.add_argument("--unreliable", action="store_true",
+                   help="disable the end-to-end reliable transport "
+                        "(on by default here)")
+    p.add_argument("--reliable-timeout", type=int, default=512,
+                   metavar="CYCLES", help="retransmission timeout")
+    p.add_argument("--reliable-retries", type=int, default=4,
+                   metavar="N", help="retry budget per packet")
+    p.add_argument("--invariants", default="strict",
+                   choices=["off", "strict", "report"],
+                   help="runtime invariant checking (default strict)")
+    p.add_argument("--invariant-period", type=int, default=64,
+                   metavar="N", help="cycles between invariant sweeps")
+    p.add_argument("--watchdog", type=int, default=4096, metavar="CYCLES",
+                   help="deadlock/livelock watchdog window (0 = off)")
+    p.add_argument("--watchdog-dump", default=None, metavar="FILE",
+                   help="write the watchdog's diagnostic bundle on a hang")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result and plan as JSON")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("sweep", help="injection-rate sweep")
     _add_network_args(p)

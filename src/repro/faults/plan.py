@@ -1,0 +1,200 @@
+"""Deterministic, seed-driven fault plans.
+
+A :class:`FaultPlan` is the declarative description of everything that
+goes wrong during a run: scheduled link failures (permanent or
+transient), router failures, and a background per-flit transient error
+process (drop/corrupt probabilities over a cycle window). Plans are
+plain JSON so they can be checked into a repo and replayed exactly::
+
+    {
+      "seed": 7,
+      "links": [
+        {"router": 9, "port": 0, "cycle": 500},
+        {"router": 3, "port": 2, "cycle": 200, "duration": 300}
+      ],
+      "routers": [{"router": 27, "cycle": 800}],
+      "flit_errors": {"drop": 0.0005, "corrupt": 0.0002,
+                      "start": 0, "end": null}
+    }
+
+``seed`` drives the single RNG behind the per-flit error process, so a
+plan plus a network config reproduces the identical fault sequence.
+The :class:`~repro.faults.controller.FaultController` interprets the
+plan against a live network.
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Failure of the bidirectional link on ``(router, port)``.
+
+    ``duration=None`` is a permanent failure; otherwise the link is
+    repaired ``duration`` cycles after ``cycle``. The data path drops
+    every flit crossing the link while it is down; the credit/control
+    plane is modeled as reliable (see DESIGN.md's fault model) so
+    dropped flits still return their buffer credit upstream.
+    """
+
+    router: int
+    port: int
+    cycle: int
+    duration: Optional[int] = None
+
+    def __post_init__(self):
+        if self.cycle < 0:
+            raise ValueError("link fault cycle must be >= 0")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError("link fault duration must be >= 1 (or null)")
+
+    @property
+    def permanent(self):
+        return self.duration is None
+
+
+@dataclass(frozen=True)
+class RouterFault:
+    """Permanent failure of a whole router at ``cycle``.
+
+    All links touching the router go down, its buffered flits are lost
+    (credits are returned upstream), and its terminal stops injecting.
+    """
+
+    router: int
+    cycle: int
+
+    def __post_init__(self):
+        if self.cycle < 0:
+            raise ValueError("router fault cycle must be >= 0")
+
+
+@dataclass(frozen=True)
+class FlitErrors:
+    """Background per-flit transient error process.
+
+    Every flit delivery inside ``[start, end)`` (``end=None`` = forever)
+    independently drops with probability ``drop`` or corrupts with
+    probability ``corrupt``, decided by the plan's seeded RNG. A drop
+    kills the whole packet (partial packets cannot be reassembled); a
+    corruption travels on and is discarded at the sink, like a failed
+    end-to-end CRC check.
+    """
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self):
+        if not (0.0 <= self.drop <= 1.0 and 0.0 <= self.corrupt <= 1.0):
+            raise ValueError("flit error probabilities must be in [0, 1]")
+        if self.drop + self.corrupt > 1.0:
+            raise ValueError("drop + corrupt probability exceeds 1")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("flit error window end must be > start")
+
+    def active(self, cycle):
+        return cycle >= self.start and (self.end is None or cycle < self.end)
+
+    @property
+    def enabled(self):
+        return self.drop > 0.0 or self.corrupt > 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A complete, JSON-serializable fault schedule."""
+
+    seed: int = 0
+    links: List[LinkFault] = field(default_factory=list)
+    routers: List[RouterFault] = field(default_factory=list)
+    flit_errors: Optional[FlitErrors] = None
+
+    @property
+    def empty(self):
+        return not self.links and not self.routers and (
+            self.flit_errors is None or not self.flit_errors.enabled
+        )
+
+    # --- (de)serialization ------------------------------------------------
+
+    def to_dict(self):
+        data = {
+            "seed": self.seed,
+            "links": [
+                {"router": f.router, "port": f.port, "cycle": f.cycle,
+                 "duration": f.duration}
+                for f in self.links
+            ],
+            "routers": [
+                {"router": f.router, "cycle": f.cycle} for f in self.routers
+            ],
+        }
+        if self.flit_errors is not None:
+            fe = self.flit_errors
+            data["flit_errors"] = {
+                "drop": fe.drop, "corrupt": fe.corrupt,
+                "start": fe.start, "end": fe.end,
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {"seed", "links", "routers", "flit_errors"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+        links = [LinkFault(**entry) for entry in data.get("links", ())]
+        routers = [RouterFault(**entry) for entry in data.get("routers", ())]
+        fe = data.get("flit_errors")
+        return cls(
+            seed=data.get("seed", 0),
+            links=links,
+            routers=routers,
+            flit_errors=FlitErrors(**fe) if fe is not None else None,
+        )
+
+    def save(self, path):
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    # --- validation -------------------------------------------------------
+
+    def validate(self, topology):
+        """Check every fault names a real link/router of ``topology``.
+
+        Raises ValueError on out-of-range routers or ports without a
+        wired link (terminal ports are legal targets: the terminal
+        becomes unreachable).
+        """
+        n = topology.num_routers
+        for f in self.routers:
+            if not 0 <= f.router < n:
+                raise ValueError(f"router fault names router {f.router} "
+                                 f"but the topology has {n}")
+        for f in self.links:
+            if not 0 <= f.router < n:
+                raise ValueError(f"link fault names router {f.router} "
+                                 f"but the topology has {n}")
+            radix = topology.radix(f.router)
+            if not 0 <= f.port < radix:
+                raise ValueError(
+                    f"link fault names port {f.port} on router {f.router} "
+                    f"(radix {radix})"
+                )
+            if (topology.link(f.router, f.port) is None
+                    and not topology.is_terminal_port(f.router, f.port)):
+                raise ValueError(
+                    f"link fault names unwired port {f.port} on router "
+                    f"{f.router}"
+                )
+        return self

@@ -38,6 +38,14 @@ class PipelinedChannel:
     def __len__(self):
         return len(self._queue)
 
+    def items(self):
+        """The queued payloads, in send order (introspection only).
+
+        The invariant checker walks channel contents to prove credit
+        conservation; callers must not mutate the underlying queue.
+        """
+        return (item for _, item in self._queue)
+
     @property
     def in_flight(self):
         return len(self._queue)

@@ -30,6 +30,12 @@ class Packet:
             and intermediate router).
         blocked_cycles: cycles the packet's head flit spent at the front
             of a VC without departing (Section 4.3's blocking latency).
+        killed: fault injection dropped one of its flits; the remains
+            are purged wherever they are buffered (repro.faults).
+        corrupted: a flit was corrupted in flight; the sink discards
+            the packet like a failed end-to-end CRC check.
+        rtag: the ReliableTransport's flow/sequence tag, or None when
+            end-to-end reliability is off.
     """
 
     __slots__ = (
@@ -45,6 +51,9 @@ class Packet:
         "route_state",
         "blocked_cycles",
         "payload",
+        "killed",
+        "corrupted",
+        "rtag",
     )
 
     def __init__(self, src, dest, size, time_created, vc_class=0, priority=0,
@@ -63,6 +72,9 @@ class Packet:
         self.route_state = None
         self.blocked_cycles = 0
         self.payload = payload
+        self.killed = False
+        self.corrupted = False
+        self.rtag = None
 
     def flits(self):
         """Materialize this packet's flits, in order."""

@@ -52,6 +52,18 @@ class Network:
         self.sinks = []
         self._wire()
 
+        #: Robustness hooks (repro.faults); all None in the common case
+        #: so the cycle loop pays one branch each when they are off.
+        self.faults = None
+        self.transport = None
+        self.invariants = None
+        self.watchdog = None
+        #: The routers/sources actually stepped each cycle. Aliases of
+        #: the full lists until a router dies (retire_router), so the
+        #: fault-free path has no filtering cost.
+        self.step_routers = self.routers
+        self.step_sources = self.sources
+
     # ------------------------------------------------------------------
 
     def _wire(self):
@@ -112,6 +124,8 @@ class Network:
     def inject(self, packet):
         """Queue a packet at its source terminal."""
         self.stats.record_created(packet, self.cycle)
+        if self.transport is not None:
+            self.transport.on_inject(packet, self.cycle)
         self.sources[packet.src].enqueue(packet)
 
     def attach_profiler(self, profiler):
@@ -126,20 +140,66 @@ class Network:
         self.sampler = sampler
         return sampler.bind(self)
 
+    def attach_faults(self, controller):
+        """Arm a FaultController against this network."""
+        self.faults = controller
+        return controller.bind(self)
+
+    def attach_transport(self, transport):
+        """Enable end-to-end reliable delivery (repro.faults.reliability)."""
+        self.transport = transport
+        return transport.bind(self)
+
+    def attach_invariants(self, checker):
+        """Enable the periodic runtime invariant checker."""
+        self.invariants = checker
+        return checker.bind(self)
+
+    def attach_watchdog(self, watchdog):
+        """Enable deadlock/livelock detection."""
+        self.watchdog = watchdog
+        return watchdog.bind(self)
+
+    def retire_router(self, router_id):
+        """Stop simulating a dead router and silence its sources.
+
+        Called by the FaultController on a router fault. Sinks keep
+        stepping (they only drain their ejection channels), and the
+        Router object stays in ``self.routers`` for introspection.
+        """
+        router = self.routers[router_id]
+        self.step_routers = [r for r in self.step_routers if r is not router]
+        keep = []
+        for source in self.step_sources:
+            attached, _ = self.topology.terminal_attachment(source.terminal)
+            if attached == router_id:
+                source.alive = False
+            else:
+                keep.append(source)
+        self.step_sources = keep
+
     def step(self):
         """Advance the network by one cycle."""
         now = self.cycle
-        for router in self.routers:
+        if self.faults is not None:
+            self.faults.begin_cycle(now)
+        for router in self.step_routers:
             router.receive(now)
         for sink in self.sinks:
             sink.step(now)
-        for source in self.sources:
+        for source in self.step_sources:
             source.receive_credits(now)
             source.step(now)
-        for router in self.routers:
+        for router in self.step_routers:
             router.step(now)
+        if self.transport is not None:
+            self.transport.step(now)
         if self.sampler is not None:
             self.sampler.maybe_sample(now)
+        if self.invariants is not None:
+            self.invariants.maybe_check(now)
+        if self.watchdog is not None:
+            self.watchdog.maybe_check(now)
         self.cycle += 1
         if self.profiler is not None:
             self.profiler.end_cycle()
@@ -160,8 +220,13 @@ class Network:
         return total
 
     def backlog(self):
-        """Packets waiting at sources (offered but not injected)."""
-        return sum(s.backlog for s in self.sources)
+        """Packets waiting at live sources (offered but not injected).
+
+        Dead terminals' queues are excluded: those packets can never be
+        injected, and counting them would keep drain loops from
+        terminating after a router fault.
+        """
+        return sum(s.backlog for s in self.sources if s.alive)
 
     def chain_stats(self):
         """Aggregated chaining counters across all routers."""
@@ -190,4 +255,10 @@ class Network:
         registry.gauge(
             "in_flight_flits", help="Flits buffered in routers or on channels"
         ).set(self.in_flight_flits())
+        if self.faults is not None:
+            self.faults.publish_metrics(registry)
+        if self.transport is not None:
+            self.transport.publish_metrics(registry)
+        if self.invariants is not None:
+            self.invariants.publish_metrics(registry)
         return registry

@@ -117,6 +117,9 @@ class Router:
         #: path pays one attribute load + branch per emission site.
         self.trace = NULL_TRACE
         self.profiler = None
+        #: Fault injection: a RouterFaultView installed by the
+        #: FaultController, or None (the common, zero-overhead case).
+        self.faults = None
 
         # Wiring, installed by Network.
         self.in_flit_channels = [None] * P  # read side
@@ -132,10 +135,13 @@ class Router:
 
     def receive(self, cycle):
         tr = self.trace
+        fv = self.faults
         for p in range(self.radix):
             chan = self.in_flit_channels[p]
             if chan is not None:
                 for flit in chan.receive(cycle):
+                    if fv is not None and fv.intercept(self, p, flit, cycle):
+                        continue
                     self.in_vcs[p][flit.vc].push(flit)
                     if tr.active and flit.is_head:
                         # Head arrival anchors the per-hop span: the
@@ -155,6 +161,9 @@ class Router:
     # ------------------------------------------------------------------
 
     def step(self, cycle):
+        fv = self.faults
+        if fv is not None:
+            self._fault_prepass(cycle, fv)
         prof = self.profiler
         t0 = perf_counter() if prof is not None else 0.0
         conn_in_start = list(self.conn_in)
@@ -227,6 +236,89 @@ class Router:
             self.chain_stats.cycles += 1
         if prof is not None:
             prof.add("end", perf_counter() - t0)
+
+    # --- 0. fault pre-pass (only when fault injection is attached) -------
+
+    def _fault_prepass(self, cycle, fv):
+        """Graceful degradation: dispose of fault-damaged state.
+
+        Runs before allocation each cycle so the rest of the pipeline
+        never sees a dead output or a killed packet at a VC front:
+
+        1. Held connections to dead outputs are torn down.
+        2. In-service packets routed to a dead output are killed (their
+           earlier flits are already lost downstream).
+        3. Killed packets' in-service state is aborted (output VC and
+           connection freed) and their buffered flits purged, returning
+           one upstream credit per purged flit.
+        4. Head flits whose look-ahead route points at a dead output
+           are re-routed (the fault-aware routing function detours);
+           unroutable packets are killed.
+        """
+        tr = self.trace
+        for o in range(self.radix):
+            held = self.conn_out[o]
+            if held is not None and fv.is_dead_out(o):
+                p, _v = held
+                self.conn_out[o] = None
+                self.conn_in[p] = None
+                if tr.active:
+                    tr.emit(
+                        "conn_torn_down", cycle, router=self.router_id,
+                        port=o, in_port=p, vc=_v, reason="link_down",
+                    )
+        for p in range(self.radix):
+            for v, vcobj in enumerate(self.in_vcs[p]):
+                packet = vcobj.active_packet
+                if packet is not None:
+                    if not packet.killed and fv.is_dead_out(vcobj.active_out_port):
+                        fv.kill(packet, cycle, "link_down")
+                    if packet.killed:
+                        self._abort_in_service(cycle, p, v, vcobj)
+                self._purge_killed(cycle, p, v, vcobj, fv)
+                flit = vcobj.front()
+                if (
+                    flit is not None
+                    and flit.is_head
+                    and vcobj.active_packet is None
+                    and fv.is_dead_out(flit.out_port)
+                ):
+                    new_port, new_class = self.routing.next_hop(
+                        self.router_id, flit.packet
+                    )
+                    if fv.is_dead_out(new_port):
+                        fv.kill(flit.packet, cycle, "unroutable")
+                        self._purge_killed(cycle, p, v, vcobj, fv)
+                    else:
+                        flit.out_port = new_port
+                        flit.vc_class = new_class
+
+    def _abort_in_service(self, cycle, p, v, vcobj):
+        """Free the output VC / connection held by a killed packet."""
+        o, w = vcobj.active_out_port, vcobj.active_out_vc
+        if self.conn_in[p] == o and self.conn_out[o] == (p, v):
+            self.conn_out[o] = None
+            self.conn_in[p] = None
+            tr = self.trace
+            if tr.active:
+                tr.emit(
+                    "conn_torn_down", cycle, router=self.router_id,
+                    port=o, in_port=p, vc=v, reason="packet_killed",
+                )
+        self.out_vc_busy[o][w] = False
+        vcobj.active_packet = None
+        vcobj.active_out_port = None
+        vcobj.active_out_vc = None
+
+    def _purge_killed(self, cycle, p, v, vcobj, fv):
+        """Drop killed packets' flits off the VC front, crediting upstream."""
+        up = self.credit_up_channels[p]
+        while vcobj.queue and vcobj.queue[0].packet.killed:
+            flit = vcobj.queue.popleft()
+            vcobj.wait_cycles = 0
+            if up is not None:
+                up.send(v, cycle)
+            fv.flit_purged(self, p, flit, cycle)
 
     # --- 1. starvation-control releases --------------------------------
 
@@ -393,6 +485,7 @@ class Router:
         sa_contrib = {}
         forming_tails = {}
         starv = self.starvation
+        fv = self.faults
         for p in range(self.radix):
             if conn_in_start[p] is not None:
                 continue  # inputs connected at cycle start sit out of SA
@@ -420,6 +513,11 @@ class Router:
                         continue
                 else:  # pragma: no cover - body flit without state
                     raise AssertionError("body flit at VC front without state")
+                if fv is not None and (flit.packet.killed or fv.is_dead_out(o)):
+                    # Belt-and-braces: the fault pre-pass already purged
+                    # or re-routed these, but a fault applied mid-cycle
+                    # must never win allocation toward a dead port.
+                    continue
                 prio = starv.packet_priority(flit.packet.priority, vcobj.wait_cycles)
                 if self.speculative_va:
                     # Non-speculative requests (packets that already hold

@@ -29,6 +29,11 @@ class Source:
         self.queue = deque()  # packets waiting to start injection
         self._flits = None  # remaining flits of the in-flight packet
         self._vc = None  # VC the in-flight packet uses at the router
+        #: Lifetime flits put on the injection channel (flit-conservation
+        #: accounting; never reset, unlike the windowed collector).
+        self.flits_sent = 0
+        #: Cleared when the attached router dies (fault injection).
+        self.alive = True
 
     def enqueue(self, packet):
         self.queue.append(packet)
@@ -48,12 +53,20 @@ class Source:
             self._start_next_packet(cycle)
         if not self._flits:
             return
+        if self._flits[0].packet.killed:
+            # Fault injection killed the packet mid-injection: its
+            # remaining flits never enter the network (nothing was
+            # charged for them, so nothing needs returning).
+            self._flits = None
+            self._vc = None
+            return
         if self.credits[self._vc] == 0:
             return
         flit = self._flits.popleft()
         flit.vc = self._vc
         self.credits[self._vc] -= 1
         self.flit_channel.send(flit, cycle)
+        self.flits_sent += 1
         tr = self.trace
         if tr.active:
             tr.emit(
@@ -105,13 +118,28 @@ class Sink:
         self.credit_channel = credit_channel  # write side: credits back
         self.stats = stats
         self.trace = trace if trace is not None else NULL_TRACE
+        #: Lifetime flits taken off the ejection channel (including
+        #: discarded corrupted/killed ones — they left the network).
+        self.flits_consumed = 0
 
     def step(self, cycle):
         tr = self.trace
         for flit in self.flit_channel.receive(cycle):
             self.credit_channel.send(flit.vc, cycle)
+            self.flits_consumed += 1
+            packet = flit.packet
+            if packet.corrupted or packet.killed:
+                # End-to-end check failed (fault injection): the flit
+                # still consumed buffer space and returns its credit,
+                # but the packet is not delivered to the terminal, so
+                # it never reaches the statistics collector.
+                if flit.is_tail and tr.active:
+                    tr.emit(
+                        "packet_killed", cycle, terminal=self.terminal,
+                        pid=packet.pid, reason="corrupted_at_sink",
+                    )
+                continue
             if flit.is_tail:
-                packet = flit.packet
                 packet.time_ejected = cycle
                 self.stats.record_ejected(packet, cycle)
             self.stats.record_flit_ejected(flit, cycle)

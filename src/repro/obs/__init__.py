@@ -56,6 +56,7 @@ from repro.obs.trace import (
     NULL_TRACE,
     JsonlSink,
     MemorySink,
+    RingSink,
     TraceBus,
     TraceFilter,
     open_text_read,
@@ -68,6 +69,7 @@ __all__ = [
     "TraceFilter",
     "JsonlSink",
     "MemorySink",
+    "RingSink",
     "NULL_TRACE",
     "EVENT_TYPES",
     "read_jsonl",

@@ -37,6 +37,19 @@ EVENT_TYPES = frozenset(
         "conn_held",  # switch connection register set
         "conn_released",  # switch connection register cleared (with reason)
         "starvation_tick",  # starvation control force-released a connection
+        # Fault injection and resilience (repro.faults):
+        "link_failed",  # a link's data path went down
+        "link_repaired",  # a transient link fault expired
+        "router_failed",  # a router died (links down, buffers lost)
+        "flit_dropped",  # a flit was lost to a fault (credit returned)
+        "flit_corrupted",  # a flit was corrupted in flight
+        "packet_killed",  # a packet was abandoned after a flit loss
+        "conn_torn_down",  # a held connection was dismantled by a fault
+        "detour",  # routing diverted around a dead link
+        "retransmit",  # the reliable transport re-injected a packet
+        "delivery_failed",  # the retry budget ran out for a packet
+        "invariant_violation",  # a runtime invariant failed (report mode)
+        "watchdog_hang",  # the watchdog declared deadlock/livelock
     }
 )
 
@@ -113,6 +126,28 @@ class MemorySink:
 
     def __init__(self):
         self.events = []
+
+    def write(self, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+class RingSink:
+    """Keeps only the most recent ``capacity`` events (bounded memory).
+
+    The watchdog attaches one of these so its diagnostic bundle can
+    include the trace tail leading up to a hang without retaining the
+    whole run.
+    """
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        from collections import deque
+
+        self.events = deque(maxlen=capacity)
 
     def write(self, event):
         self.events.append(event)

@@ -18,6 +18,8 @@ class RoutingFunction(ABC):
     def __init__(self, topology):
         self.topology = topology
         self._congestion = None
+        self._dead_ports = None
+        self._on_detour = None
 
     def attach_congestion(self, fn):
         """Install a ``fn(router, port) -> occupancy`` congestion probe."""
@@ -28,6 +30,23 @@ class RoutingFunction(ABC):
         if self._congestion is None:
             return 0
         return self._congestion(router, port)
+
+    def attach_faults(self, dead_ports, on_detour=None):
+        """Make the routing function fault-aware.
+
+        ``dead_ports`` is a live set of ``(router, output_port)`` pairs
+        maintained by the :class:`~repro.faults.controller.FaultController`;
+        subclasses that support detouring consult it in ``next_hop``.
+        ``on_detour(router, preferred, chosen, packet)`` is invoked each
+        time the preferred port is avoided (for counting/tracing).
+        """
+        self._dead_ports = dead_ports
+        self._on_detour = on_detour
+
+    def port_dead(self, router, port):
+        """Whether fault injection has taken ``(router, port)`` down."""
+        dead = self._dead_ports
+        return dead is not None and (router, port) in dead
 
     @abstractmethod
     def prepare(self, packet):

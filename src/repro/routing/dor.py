@@ -3,6 +3,25 @@
 "For the mesh we use deterministic dimension-order routing (DOR)
 because it is a simple and popular choice." (Section 3). X is resolved
 before Y; XY routing is deadlock-free in a mesh without VC classes.
+
+When a fault set is attached (see
+:meth:`~repro.routing.base.RoutingFunction.attach_faults`), a hop whose
+XY-preferred port is down is detoured:
+
+- A dead **X** hop is stateless: step into an adjacent row (productive
+  Y direction first) and DOR keeps resolving X there, sliding past the
+  dead link.
+- A dead **Y** hop needs one hop of memory, because plain XY would
+  immediately undo any X side-step. The detour stores a ``y_detour``
+  token in ``packet.route_state``; the next router honors it by making
+  the Y move in the adjacent column before DOR pulls the packet back.
+
+Reverse (180°) ports are never detour candidates — they ping-pong. If
+no forward candidate is alive the preferred (dead) port is returned and
+the router's fault pre-pass kills the packet as unroutable. Detours
+break strict XY ordering, so deadlock freedom is no longer guaranteed
+under faults — that is precisely the regime the hang watchdog exists
+for.
 """
 
 from repro.routing.base import RoutingFunction
@@ -19,18 +38,78 @@ class DORMesh(RoutingFunction):
     """XY routing for any mesh-like topology (Mesh2D, CMesh2D)."""
 
     def prepare(self, packet):
-        packet.route_state = None  # DOR is stateless
+        packet.route_state = None  # DOR is stateless (until a detour)
 
     def next_hop(self, router, packet):
-        dest_router, dest_port = self.topology.terminal_attachment(packet.dest)
+        topo = self.topology
+        dest_router, dest_port = topo.terminal_attachment(packet.dest)
+        state = packet.route_state
+        if state is not None:
+            # A pending Y detour: make the deferred Y move here, in the
+            # column next to the dead link, before DOR resolves X back.
+            packet.route_state = None
+            ydir = state[1]
+            if topo.link(router, ydir) is not None and not self.port_dead(
+                router, ydir
+            ):
+                return ydir, 0
+            # This column can't make the Y move either; fall through and
+            # recompute from scratch at this router.
+        preferred = self._xy_port(router, dest_router, dest_port)
+        if self._dead_ports is None or not self.port_dead(router, preferred):
+            return preferred, 0
+        chosen = self._detour(router, preferred, dest_router, packet)
+        if chosen is None:
+            # Nothing alive to divert through (or the dead port is the
+            # ejection port itself): return the preferred port and let
+            # the router's fault pre-pass dispose of the packet.
+            return preferred, 0
+        if self._on_detour is not None:
+            self._on_detour(router, preferred, chosen, packet)
+        return chosen, 0
+
+    def _xy_port(self, router, dest_router, dest_port):
         dx, dy = self.topology.coords(dest_router)
         x, y = self.topology.coords(router)
         if x < dx:
-            return PORT_XPLUS, 0
+            return PORT_XPLUS
         if x > dx:
-            return PORT_XMINUS, 0
+            return PORT_XMINUS
         if y < dy:
-            return PORT_YPLUS, 0
+            return PORT_YPLUS
         if y > dy:
-            return PORT_YMINUS, 0
-        return dest_port, 0
+            return PORT_YMINUS
+        return dest_port
+
+    def _alive(self, router, port):
+        return (
+            self.topology.link(router, port) is not None
+            and not self.port_dead(router, port)
+        )
+
+    def _detour(self, router, preferred, dest_router, packet):
+        """Best live alternative to a dead preferred port, or None."""
+        if preferred == PORT_TERMINAL:
+            return None  # ejection port dead: no detour can deliver
+        topo = self.topology
+        dx, dy = topo.coords(dest_router)
+        x, y = topo.coords(router)
+        if preferred in (PORT_XPLUS, PORT_XMINUS):
+            # Side-step into an adjacent row; X resolution continues
+            # there statelessly. Productive Y direction first.
+            if y < dy:
+                order = (PORT_YPLUS, PORT_YMINUS)
+            else:
+                order = (PORT_YMINUS, PORT_YPLUS)
+            for port in order:
+                if self._alive(router, port):
+                    return port
+            return None
+        # Dead Y hop (x == dx here: XY already resolved X). Side-step
+        # into an adjacent column and leave a token so the next router
+        # makes the Y move before DOR pulls the packet back.
+        for port in (PORT_XPLUS, PORT_XMINUS):
+            if self._alive(router, port):
+                packet.route_state = ("y_detour", preferred)
+                return port
+        return None

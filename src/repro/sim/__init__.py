@@ -2,7 +2,13 @@
 
 from repro.sim.runner import SimulationRun, run_simulation
 from repro.sim.sweep import rate_sweep, find_saturation, average_results
-from repro.sim.parallel import parallel_matrix, parallel_sweep
+from repro.sim.parallel import (
+    MatrixResults,
+    PointError,
+    SweepResults,
+    parallel_matrix,
+    parallel_sweep,
+)
 
 __all__ = [
     "SimulationRun",
@@ -12,4 +18,7 @@ __all__ = [
     "average_results",
     "parallel_sweep",
     "parallel_matrix",
+    "SweepResults",
+    "MatrixResults",
+    "PointError",
 ]

@@ -4,6 +4,12 @@ Simulations are independent, CPU-bound, pure-Python — ideal for a
 process pool. Work items carry a NetworkConfig (picklable dataclass)
 plus run_simulation keyword arguments; each worker builds its own
 Network so no simulator state crosses process boundaries.
+
+Sweeps are fault-tolerant at point granularity: every point gets its
+own future with an optional ``timeout``, and a point that crashes or
+times out is retried (``retries`` attempts, default one) before being
+recorded in the result's ``errors`` list. A bad point costs that point,
+not the sweep — the caller still receives every result that succeeded.
 """
 
 import copy
@@ -28,6 +34,44 @@ class SweepPoint:
     profile_epoch: Optional[int] = None
 
 
+@dataclass
+class PointError:
+    """Why one sweep point produced no result, after all retries."""
+
+    label: str
+    rate: float
+    error: str
+    attempts: int
+
+
+class SweepResults(list):
+    """``[(rate, SimResult)]`` plus per-point failures in ``errors``.
+
+    A plain list to existing callers; ``errors`` holds a
+    :class:`PointError` for each point that failed every attempt.
+    """
+
+    def __init__(self, items=(), errors=()):
+        super().__init__(items)
+        self.errors = list(errors)
+
+    @property
+    def complete(self):
+        return not self.errors
+
+
+class MatrixResults(dict):
+    """``{label: [(rate, SimResult)]}`` plus failures in ``errors``."""
+
+    def __init__(self, items=(), errors=()):
+        super().__init__(items)
+        self.errors = list(errors)
+
+    @property
+    def complete(self):
+        return not self.errors
+
+
 def _run_point(point: SweepPoint):
     profiler = None
     if point.profile_epoch is not None:
@@ -40,35 +84,109 @@ def _run_point(point: SweepPoint):
     return point.label, point.rate, result
 
 
+def _describe(exc):
+    return f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+
+
+def _execute(points, workers, timeout, retries):
+    """Run every point; returns (outcomes-in-input-order, errors).
+
+    ``workers=0`` runs inline (no timeout enforcement — there is no
+    other process to bound). Pool mode submits one future per point;
+    ``timeout`` bounds the wait for each point's result. A timed-out
+    worker process may linger until it finishes its run, but the sweep
+    moves on without it.
+    """
+    outcomes = [None] * len(points)
+    errors = []
+    if workers == 0:
+        for i, point in enumerate(points):
+            attempts, exc = 0, None
+            while attempts <= retries:
+                attempts += 1
+                try:
+                    outcomes[i] = _run_point(point)
+                    exc = None
+                    break
+                except Exception as err:  # noqa: BLE001 - per-point record
+                    exc = err
+            if exc is not None:
+                errors.append(
+                    PointError(point.label, point.rate, _describe(exc),
+                               attempts)
+                )
+        return [o for o in outcomes if o is not None], errors
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [
+            (i, point, pool.submit(_run_point, point))
+            for i, point in enumerate(points)
+        ]
+        failed = []
+        for i, point, fut in futures:
+            try:
+                outcomes[i] = fut.result(timeout=timeout)
+            except Exception as exc:  # noqa: BLE001 - includes TimeoutError
+                fut.cancel()
+                failed.append((i, point, 1, exc))
+        for i, point, attempts, exc in failed:
+            while attempts <= retries:
+                attempts += 1
+                try:
+                    fut = pool.submit(_run_point, point)
+                    outcomes[i] = fut.result(timeout=timeout)
+                    exc = None
+                    break
+                except Exception as err:  # noqa: BLE001
+                    exc = err
+            if exc is not None:
+                errors.append(
+                    PointError(point.label, point.rate, _describe(exc),
+                               attempts)
+                )
+    finally:
+        # wait=False so a hung worker cannot wedge the sweep's exit.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return [o for o in outcomes if o is not None], errors
+
+
 def parallel_sweep(config, rates, workers: Optional[int] = None,
                    label: str = "", profile_epoch: Optional[int] = None,
+                   timeout: Optional[float] = None, retries: int = 1,
                    **run_kwargs):
     """Run one simulation per rate across a process pool.
 
-    Returns [(rate, SimResult)] in rate order. ``workers=None`` lets the
-    pool pick; ``workers=0`` runs inline (useful under debuggers and on
-    platforms without fork). ``profile_epoch`` enables per-run pipeline
-    profiling (see SweepPoint).
+    Returns a :class:`SweepResults` (a list of ``(rate, SimResult)`` in
+    input rate order) whose ``errors`` records points that failed every
+    attempt. ``workers=None`` lets the pool pick; ``workers=0`` runs
+    inline (useful under debuggers and on platforms without fork).
+    ``timeout`` bounds the wait per point in pool mode; ``retries`` is
+    the extra attempts a crashed or timed-out point gets.
+    ``profile_epoch`` enables per-run pipeline profiling (see
+    SweepPoint).
     """
     points = [
         SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label,
                    profile_epoch)
         for rate in rates
     ]
-    if workers == 0:
-        results = [_run_point(p) for p in points]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_point, points))
-    return [(rate, result) for _, rate, result in results]
+    results, errors = _execute(points, workers, timeout, retries)
+    return SweepResults(
+        ((rate, result) for _, rate, result in results), errors
+    )
 
 
 def parallel_matrix(configs, rates, workers: Optional[int] = None,
-                    profile_epoch: Optional[int] = None, **run_kwargs):
+                    profile_epoch: Optional[int] = None,
+                    timeout: Optional[float] = None, retries: int = 1,
+                    **run_kwargs):
     """Sweep a {label: NetworkConfig} matrix of configurations.
 
-    Returns {label: [(rate, SimResult)]}. All points across all
-    configurations share one pool so the pool stays saturated.
+    Returns a :class:`MatrixResults` (``{label: [(rate, SimResult)]}``)
+    whose ``errors`` records per-point failures; a failed point leaves
+    a gap in its label's series rather than killing the sweep. All
+    points across all configurations share one pool so the pool stays
+    saturated.
     """
     points = []
     for label, config in configs.items():
@@ -77,12 +195,8 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
                 SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs),
                            label, profile_epoch)
             )
-    if workers == 0:
-        raw = [_run_point(p) for p in points]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(_run_point, points))
-    out = {label: [] for label in configs}
+    raw, errors = _execute(points, workers, timeout, retries)
+    out = MatrixResults({label: [] for label in configs}, errors)
     for label, rate, result in raw:
         out[label].append((rate, result))
     for series in out.values():

@@ -1,5 +1,6 @@
 """Warmup / measurement / drain simulation driver."""
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -39,14 +40,14 @@ class SimulationRun:
         inj.enabled = False
         drain_cycles = 0
         for _ in range(self.drain):
-            if net.in_flight_flits() == 0:
+            if self._quiescent(net):
                 break
             net.step()
             drain_cycles += 1
         # Report whether the drain actually completed: a False here on a
         # drain-requested run means the drain budget expired with flits
         # still in flight (expect censored latency samples).
-        drained = (net.in_flight_flits() == 0) if self.drain > 0 else None
+        drained = self._quiescent(net) if self.drain > 0 else None
         timing = None
         if net.profiler is not None:
             net.profiler.finish()
@@ -61,7 +62,35 @@ class SimulationRun:
         return summarize(
             stats, inj.rate, net.chain_stats(), net.cycle,
             drained=drained, drain_cycles=drain_cycles, timing=timing,
+            faults=self._fault_summary(net),
         )
+
+    @staticmethod
+    def _quiescent(net):
+        """Nothing left to simulate during drain.
+
+        With a reliable transport attached, queued retransmissions and
+        unacknowledged packets keep the drain alive past the moment the
+        network itself momentarily empties.
+        """
+        if net.in_flight_flits() != 0:
+            return False
+        if net.transport is not None:
+            return net.transport.idle() and net.backlog() == 0
+        return True
+
+    @staticmethod
+    def _fault_summary(net):
+        parts = {}
+        if net.faults is not None:
+            parts["injection"] = net.faults.summary()
+        if net.transport is not None:
+            parts["transport"] = net.transport.summary()
+        if net.invariants is not None:
+            parts["invariants"] = net.invariants.summary()
+        if net.watchdog is not None:
+            parts["watchdog"] = net.watchdog.summary()
+        return parts or None
 
 
 def run_simulation(
@@ -78,12 +107,17 @@ def run_simulation(
     profiler=None,
     metrics=None,
     sampler=None,
+    faults=None,
+    transport=None,
+    invariants=None,
+    watchdog=None,
 ):
     """Build and execute one simulation; returns a :class:`SimResult`.
 
     ``lengths`` may be any PacketLengthDistribution; ``packet_length``
     is a convenience for fixed lengths. ``rate`` is in flits per
-    terminal per cycle (the paper's unit).
+    terminal per cycle (the paper's unit). ``config`` is never mutated:
+    a ``seed`` override is applied to a copy.
 
     Observability (all optional, all zero-overhead when omitted):
     ``trace`` is a :class:`~repro.obs.trace.TraceBus` to emit events
@@ -93,14 +127,35 @@ def run_simulation(
     publishes into, and ``sampler`` a
     :class:`~repro.obs.sampler.NetworkSampler` snapshotting network
     state every N cycles.
+
+    Robustness (repro.faults; likewise optional and free when omitted):
+    ``faults`` is a :class:`~repro.faults.plan.FaultPlan` or a
+    :class:`~repro.faults.controller.FaultController` to inject,
+    ``transport`` a :class:`~repro.faults.reliability.ReliableTransport`
+    for end-to-end delivery, ``invariants`` an
+    :class:`~repro.faults.invariants.InvariantChecker`, and
+    ``watchdog`` a :class:`~repro.faults.watchdog.HangWatchdog`. Their
+    summaries land in ``SimResult.faults``.
     """
     if seed is not None:
-        config.seed = seed
+        config = dataclasses.replace(config, seed=seed)
     net = Network(config, trace=trace)
     if profiler is not None:
         net.attach_profiler(profiler)
     if sampler is not None:
         net.attach_sampler(sampler)
+    if faults is not None:
+        from repro.faults import FaultController, FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultController(faults)
+        net.attach_faults(faults)
+    if transport is not None:
+        net.attach_transport(transport)
+    if invariants is not None:
+        net.attach_invariants(invariants)
+    if watchdog is not None:
+        net.attach_watchdog(watchdog)
     traffic_rng = random.Random(config.seed + 0x5EED)
     dist = lengths if lengths is not None else FixedLength(packet_length)
     pat = build_pattern(pattern, net.num_terminals, traffic_rng)

@@ -49,6 +49,9 @@ class SimResult:
     #: Profiler summary (cycles/sec, per-phase seconds) when profiling
     #: was enabled for the run; None otherwise.
     timing: Optional[dict] = None
+    #: Robustness summaries (fault counters, transport, invariants,
+    #: watchdog) when any of repro.faults was attached; None otherwise.
+    faults: Optional[dict] = None
 
     @property
     def saturated(self):
@@ -63,7 +66,7 @@ class SimResult:
 
 
 def summarize(collector, offered_rate, chain_stats, cycles_run,
-              drained=None, drain_cycles=0, timing=None):
+              drained=None, drain_cycles=0, timing=None, faults=None):
     """Build a SimResult from a StatsCollector."""
     return SimResult(
         offered_rate=offered_rate,
@@ -77,4 +80,5 @@ def summarize(collector, offered_rate, chain_stats, cycles_run,
         drained=drained,
         drain_cycles=drain_cycles,
         timing=timing,
+        faults=faults,
     )

@@ -84,3 +84,79 @@ class TestCLI:
     def test_parser_rejects_bad_chaining(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--chaining", "sometimes"])
+
+
+class TestFaultCLI:
+    def _plan(self, tmp_path):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": 3,
+            "links": [{"router": 5, "port": 0, "cycle": 50}],
+        }))
+        return str(path)
+
+    def test_run_with_fault_flags(self, tmp_path):
+        code, text = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "200", "--drain", "4000",
+            "--faults", self._plan(tmp_path), "--reliable",
+            "--invariants", "strict", "--watchdog", "500",
+        )
+        assert code == 0
+        assert "faults" in text
+        assert "reliability" in text
+        assert "invariants" in text
+        assert "watchdog" in text
+
+    def test_run_without_fault_flags_prints_no_fault_lines(self):
+        code, text = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "50", "--measure", "100", "--drain", "200",
+        )
+        assert code == 0
+        assert "reliability" not in text
+        assert "invariants" not in text
+
+    def test_faults_subcommand_with_plan(self, tmp_path):
+        code, text = run_cli(
+            "faults", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "200", "--drain", "4000",
+            "--plan", self._plan(tmp_path),
+        )
+        assert code == 0
+        assert "1 link" in text
+        assert "0 failed" in text
+        assert "0 violations" in text
+
+    def test_faults_subcommand_generated_plan(self, tmp_path):
+        saved = tmp_path / "generated.json"
+        code, text = run_cli(
+            "faults", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "200", "--drain", "4000",
+            "--random-links", "2", "--drop", "0.001",
+            "--save-plan", str(saved),
+        )
+        assert code == 0
+        assert saved.exists()
+        import json
+
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.load(saved)
+        assert len(plan.links) == 2
+        assert plan.flit_errors.drop == 0.001
+
+    def test_faults_subcommand_json(self, tmp_path):
+        import json
+
+        code, text = run_cli(
+            "faults", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "200", "--drain", "4000",
+            "--plan", self._plan(tmp_path), "--json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["faults"]["injection"]["failed_links"] == 1
+        assert payload["plan"]["links"][0]["router"] == 5

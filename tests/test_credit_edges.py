@@ -1,0 +1,127 @@
+"""Credit-flow edge cases.
+
+These pin down corners of the credit protocol the integration tests
+only exercise incidentally: injection stalls at zero remaining credit,
+full credit return once the network drains, and ``in_flight_flits()``
+accounting when fault injection kills a packet mid-route.
+"""
+
+from repro.faults import FaultController, FaultPlan, InvariantChecker
+from repro.faults.plan import FlitErrors, LinkFault
+from repro.network.config import mesh_config
+from repro.network.flit import Packet
+from repro.network.network import Network
+from repro.topology.mesh import PORT_XPLUS
+
+
+def drain(net, max_cycles=4000):
+    for _ in range(max_cycles):
+        if net.in_flight_flits() == 0 and net.backlog() == 0:
+            return net.cycle
+        net.step()
+    raise AssertionError("network did not drain")
+
+
+class TestZeroCreditStall:
+    def test_source_stalls_without_credits_and_resumes(self):
+        net = Network(mesh_config(mesh_k=4))
+        source = net.sources[0]
+        saved = list(source.credits)
+        source.credits = [0] * len(saved)
+        net.inject(Packet(0, 3, 4, net.cycle))
+        for _ in range(20):
+            net.step()
+        # No credit on any VC: the packet never starts injecting.
+        assert source.flits_sent == 0
+        assert source.backlog == 1
+        assert net.in_flight_flits() == 0
+        source.credits = saved  # credits come back; injection resumes
+        drain(net)
+        assert source.flits_sent == 4
+        assert net.sinks[3].flits_consumed == 4
+
+    def test_exhausted_credits_pause_mid_packet(self):
+        # Depth-2 buffers with an 8-flit packet: the source must stall
+        # mid-packet every time the downstream VC fills, and the flow
+        # only advances as credits return.
+        net = Network(mesh_config(mesh_k=4, vc_buf_depth=2))
+        source = net.sources[0]
+        net.inject(Packet(0, 3, 8, net.cycle))
+        stalled = 0
+        for _ in range(200):
+            before = source.flits_sent
+            net.step()
+            if source.backlog and source.flits_sent == before:
+                stalled += 1
+            if net.in_flight_flits() == 0 and net.backlog() == 0:
+                break
+        assert stalled > 0  # the credit loop actually throttled the source
+        assert source.flits_sent == 8
+        assert net.sinks[3].flits_consumed == 8
+
+
+class TestCreditReturnAfterDrain:
+    def test_all_credits_restored_everywhere(self):
+        net = Network(mesh_config(mesh_k=4))
+        depth = net.config.vc_buf_depth
+        for src, dest in [(0, 15), (5, 10), (12, 3), (7, 7)]:
+            net.inject(Packet(src, dest, 4, net.cycle))
+        drain(net)
+        # A few idle cycles so in-flight credit messages land.
+        for _ in range(5):
+            net.step()
+        for router in net.routers:
+            for port_credits in router.credits:
+                assert all(c == depth for c in port_credits)
+        for source in net.sources:
+            assert all(c == depth for c in source.credits)
+
+    def test_invariant_sweep_clean_after_drain(self):
+        net = Network(mesh_config(mesh_k=4))
+        checker = net.attach_invariants(InvariantChecker(period=8))
+        for src, dest in [(0, 15), (15, 0), (3, 12)]:
+            net.inject(Packet(src, dest, 4, net.cycle))
+        drain(net)
+        assert checker.check(net.cycle) == []
+
+
+class TestInFlightAccountingUnderDrops:
+    def test_packet_dropped_at_first_hop(self):
+        # drop=1.0 kills the head flit on arrival; the source must
+        # cancel the rest of the packet without charging the network.
+        net = Network(mesh_config(mesh_k=4))
+        controller = net.attach_faults(FaultController(FaultPlan(
+            flit_errors=FlitErrors(drop=1.0)
+        )))
+        net.inject(Packet(0, 3, 4, net.cycle))
+        for _ in range(50):
+            net.step()
+        assert net.in_flight_flits() == 0
+        assert net.backlog() == 0
+        assert controller.killed_packets == 1
+        # Only the head flit entered the network and was dropped; the
+        # three body flits never left the source and were never charged.
+        source = net.sources[0]
+        assert source.flits_sent == 1
+        assert controller.dropped_flits == 1
+        assert net.sinks[3].flits_consumed == 0
+
+    def test_mid_route_kill_balances_exactly(self):
+        # A link dies while a long packet is crossing the network: the
+        # stranded flits are purged with credits returned, and sent ==
+        # consumed + dropped with nothing left in flight.
+        net = Network(mesh_config(mesh_k=4))
+        controller = net.attach_faults(FaultController(FaultPlan(
+            links=[LinkFault(1, PORT_XPLUS, 8)]
+        )))
+        checker = net.attach_invariants(InvariantChecker(period=4))
+        net.inject(Packet(0, 2, 8, net.cycle))  # east along row 0
+        for _ in range(200):
+            net.step()
+            if net.in_flight_flits() == 0 and net.backlog() == 0:
+                break
+        assert net.in_flight_flits() == 0
+        sent = sum(s.flits_sent for s in net.sources)
+        consumed = sum(k.flits_consumed for k in net.sinks)
+        assert sent == consumed + controller.dropped_flits
+        assert checker.check(net.cycle) == []

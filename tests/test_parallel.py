@@ -3,7 +3,7 @@
 import pytest
 
 from repro.network.config import mesh_config
-from repro.sim.parallel import parallel_matrix, parallel_sweep
+from repro.sim.parallel import PointError, parallel_matrix, parallel_sweep
 
 RUN = dict(warmup=100, measure=200, drain=0, pattern="uniform",
            packet_length=1)
@@ -41,3 +41,52 @@ class TestParallelSweep:
         cfg = mesh_config(mesh_k=4, seed=123)
         parallel_sweep(cfg, rates=[0.05], workers=0, **RUN)
         assert cfg.seed == 123
+
+
+BAD = mesh_config(mesh_k=4, allocator="no-such-allocator")
+
+
+class TestPointFaultTolerance:
+    def test_inline_failure_becomes_error_record(self):
+        results = parallel_sweep(BAD, rates=[0.05, 0.1], workers=0,
+                                 label="bad", **RUN)
+        assert list(results) == []
+        assert not results.complete
+        assert len(results.errors) == 2
+        err = results.errors[0]
+        assert isinstance(err, PointError)
+        assert err.label == "bad"
+        assert err.rate == 0.05
+        assert err.attempts == 2  # first try plus the default retry
+        assert "no-such-allocator" in err.error
+
+    def test_retries_zero_means_single_attempt(self):
+        results = parallel_sweep(BAD, rates=[0.05], workers=0, retries=0,
+                                 **RUN)
+        assert results.errors[0].attempts == 1
+
+    def test_pool_failure_spares_other_points(self):
+        out = parallel_matrix(
+            {"good": mesh_config(mesh_k=4), "bad": BAD},
+            rates=[0.05, 0.1], workers=2, **RUN
+        )
+        assert not out.complete
+        assert [r for r, _ in out["good"]] == [0.05, 0.1]
+        assert out["bad"] == []
+        assert sorted(e.rate for e in out.errors) == [0.05, 0.1]
+        assert all(e.label == "bad" for e in out.errors)
+
+    def test_timeout_recorded_per_point(self):
+        results = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05], workers=1,
+            timeout=0.001, retries=0, **RUN
+        )
+        assert list(results) == []
+        assert len(results.errors) == 1
+        assert "Timeout" in results.errors[0].error
+
+    def test_fully_successful_sweep_is_complete(self):
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, **RUN)
+        assert results.complete
+        assert results.errors == []
