@@ -16,12 +16,18 @@ Quickstart::
     print(result.avg_throughput, result.packet_latency.mean)
 """
 
+from repro.checkpoint import (
+    CheckpointError,
+    SimulationKilled,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.chaining import ChainingScheme, ChainStats
 from repro.core.starvation import StarvationControl, StarvationMode
 from repro.core.cost_model import AllocatorCostModel, CostReport
 from repro.network.config import NetworkConfig, fbfly_config, mesh_config
 from repro.network.network import Network
-from repro.sim.runner import run_simulation
+from repro.sim.runner import resume_simulation, run_simulation
 from repro.sim.sweep import find_saturation, rate_sweep
 from repro.stats.summary import SimResult
 
@@ -39,7 +45,12 @@ __all__ = [
     "fbfly_config",
     "Network",
     "run_simulation",
+    "resume_simulation",
     "rate_sweep",
     "find_saturation",
     "SimResult",
+    "CheckpointError",
+    "SimulationKilled",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

@@ -39,13 +39,20 @@ __all__ = [
 ]
 
 
-def make_allocator(kind: str, num_inputs: int, num_outputs: int) -> Allocator:
+def make_allocator(kind: str, num_inputs: int, num_outputs: int,
+                   seed: int = None) -> Allocator:
     """Construct an allocator by name.
 
     Recognized kinds: ``islip1``/``islip2``/... (input-first separable
     round-robin with k iterations), ``oslip1``/``oslip2``/...
     (output-first), ``pim1``/``pim2``/... (randomized PIM),
     ``wavefront``, ``augmenting``. Used by router/network configuration.
+
+    ``seed`` pins the randomized allocators (PIM's grant RNG, the
+    wavefront's starting diagonal and permutation RNG) so instances are
+    reproducible across processes; without it they fall back to a
+    process-global instance counter, which depends on construction
+    history. Deterministic allocators ignore it.
     """
     kind = kind.lower()
     if kind.startswith("islip"):
@@ -56,9 +63,9 @@ def make_allocator(kind: str, num_inputs: int, num_outputs: int) -> Allocator:
         return SeparableOutputFirstAllocator(num_inputs, num_outputs, iterations=iterations)
     if kind.startswith("pim"):
         iterations = int(kind[len("pim"):] or "1")
-        return PIMAllocator(num_inputs, num_outputs, iterations=iterations)
+        return PIMAllocator(num_inputs, num_outputs, iterations=iterations, seed=seed)
     if kind == "wavefront":
-        return WavefrontAllocator(num_inputs, num_outputs)
+        return WavefrontAllocator(num_inputs, num_outputs, seed=seed)
     if kind == "augmenting":
         return AugmentingPathsAllocator(num_inputs, num_outputs)
     raise ValueError(f"unknown allocator kind: {kind!r}")

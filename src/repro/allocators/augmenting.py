@@ -29,6 +29,12 @@ class AugmentingPathsAllocator(Allocator):
         super().__init__(num_inputs, num_outputs)
         self._rotation = 0
 
+    def state_dict(self):
+        return {"rotation": self._rotation}
+
+    def load_state(self, state):
+        self._rotation = state["rotation"]
+
     def allocate(self, requests: RequestMatrix) -> Dict[int, int]:
         self._validate(requests)
         match_of_output: Dict[int, int] = {}  # output -> input

@@ -29,6 +29,13 @@ class Allocator(ABC):
         at any arbitration point they share.
         """
 
+    def state_dict(self) -> dict:
+        """Serializable allocation state; stateless subclasses return {}."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+
     def _validate(self, requests: RequestMatrix) -> None:
         for (i, o) in requests:
             if not 0 <= i < self.num_inputs:

@@ -47,6 +47,18 @@ class SeparableOutputFirstAllocator(Allocator):
                 break
         return grants
 
+    def state_dict(self):
+        return {
+            "input_arbiters": [a.state_dict() for a in self._input_arbiters],
+            "output_arbiters": [a.state_dict() for a in self._output_arbiters],
+        }
+
+    def load_state(self, state):
+        for arb, s in zip(self._input_arbiters, state["input_arbiters"]):
+            arb.load_state(s)
+        for arb, s in zip(self._output_arbiters, state["output_arbiters"]):
+            arb.load_state(s)
+
     def _output_stage(self, by_output, grants, matched_outputs):
         """Each unmatched output grants one unmatched input.
 

@@ -16,6 +16,7 @@ from collections import defaultdict
 from typing import Dict
 
 from repro.allocators.base import Allocator, RequestMatrix
+from repro.core.serialization import rng_state_to_json, set_rng_state
 
 _instance_counter = itertools.count()
 
@@ -30,8 +31,16 @@ class PIMAllocator(Allocator):
             raise ValueError(f"iterations must be positive, got {iterations}")
         self.iterations = iterations
         if seed is None:
+            # Process-global stagger: not reproducible across processes;
+            # the router passes an explicit seed for determinism.
             seed = 0x9146 + next(_instance_counter)
         self._rng = random.Random(seed)
+
+    def state_dict(self):
+        return {"rng": rng_state_to_json(self._rng)}
+
+    def load_state(self, state):
+        set_rng_state(self._rng, state["rng"])
 
     def allocate(self, requests: RequestMatrix) -> Dict[int, int]:
         self._validate(requests)

@@ -55,6 +55,18 @@ class SeparableInputFirstAllocator(Allocator):
                 break
         return grants
 
+    def state_dict(self):
+        return {
+            "input_arbiters": [a.state_dict() for a in self._input_arbiters],
+            "output_arbiters": [a.state_dict() for a in self._output_arbiters],
+        }
+
+    def load_state(self, state):
+        for arb, s in zip(self._input_arbiters, state["input_arbiters"]):
+            arb.load_state(s)
+        for arb, s in zip(self._output_arbiters, state["output_arbiters"]):
+            arb.load_state(s)
+
     def _input_stage(self, by_input, grants, matched_outputs):
         """Each unmatched input selects one request to an unmatched output.
 

@@ -26,23 +26,50 @@ maximal over the full request set.
 
 import itertools
 import random
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.allocators.base import Allocator, RequestMatrix
+from repro.core.serialization import rng_state_to_json, set_rng_state
 
 _instance_counter = itertools.count()
 
 
 class WavefrontAllocator(Allocator):
-    """Maximal-matching wavefront allocator with symmetric fairness."""
+    """Maximal-matching wavefront allocator with symmetric fairness.
 
-    def __init__(self, num_inputs: int, num_outputs: int) -> None:
+    ``seed`` makes the instance fully deterministic from its arguments
+    (the router derives it from the config seed and router id); without
+    one, a process-global instance counter staggers diagonals and RNG
+    streams, which varies with construction history and is therefore
+    not reproducible across processes.
+    """
+
+    def __init__(self, num_inputs: int, num_outputs: int,
+                 seed: Optional[int] = None) -> None:
         super().__init__(num_inputs, num_outputs)
         self._n = max(num_inputs, num_outputs)
-        self._priority_diagonal = next(_instance_counter) % self._n
-        self._rng = random.Random(0xFA1A + next(_instance_counter))
+        if seed is None:
+            self._priority_diagonal = next(_instance_counter) % self._n
+            self._rng = random.Random(0xFA1A + next(_instance_counter))
+        else:
+            self._priority_diagonal = seed % self._n
+            self._rng = random.Random(0xFA1A ^ (seed * 0x9E3779B1))
         self._row_perm = list(range(self._n))
         self._col_perm = list(range(self._n))
+
+    def state_dict(self):
+        return {
+            "diagonal": self._priority_diagonal,
+            "rng": rng_state_to_json(self._rng),
+            "row_perm": list(self._row_perm),
+            "col_perm": list(self._col_perm),
+        }
+
+    def load_state(self, state):
+        self._priority_diagonal = state["diagonal"]
+        set_rng_state(self._rng, state["rng"])
+        self._row_perm = list(state["row_perm"])
+        self._col_perm = list(state["col_perm"])
 
     def allocate(self, requests: RequestMatrix) -> Dict[int, int]:
         self._validate(requests)

@@ -39,3 +39,9 @@ class MatrixArbiter(Arbiter):
             if j != granted:
                 self._beats[granted][j] = False
                 self._beats[j][granted] = True
+
+    def state_dict(self) -> dict:
+        return {"beats": [list(row) for row in self._beats]}
+
+    def load_state(self, state: dict) -> None:
+        self._beats = [[bool(cell) for cell in row] for row in state["beats"]]

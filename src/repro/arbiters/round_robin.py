@@ -39,3 +39,9 @@ class RoundRobinArbiter(Arbiter):
     def reset(self) -> None:
         """Return the pointer to index 0."""
         self.pointer = 0
+
+    def state_dict(self) -> dict:
+        return {"pointer": self.pointer}
+
+    def load_state(self, state: dict) -> None:
+        self.pointer = state["pointer"]

@@ -18,12 +18,16 @@ Examples::
     python -m repro run --rate 0.2 --faults examples/faultplan.json \\
         --reliable --invariants strict --watchdog 2000
     python -m repro faults --random-links 2 --drop 0.0005 --rate 0.2
+    python -m repro run --rate 0.4 --checkpoint ck.json.gz \\
+        --checkpoint-every 500 --kill-at 1200
+    python -m repro resume ck.json.gz --json
 """
 
 import argparse
 import json
 import sys
 
+from repro.checkpoint import CheckpointError, SimulationKilled
 from repro.core.cost_model import AllocatorCostModel
 from repro.faults import (
     FaultController,
@@ -51,7 +55,7 @@ from repro.obs import (
     write_sweep_manifest,
 )
 from repro.obs.artifacts import rate_subdir
-from repro.sim.runner import run_simulation
+from repro.sim.runner import resume_simulation, run_simulation
 from repro.sim.sweep import find_saturation
 from repro.traffic import BimodalLength, FixedLength
 
@@ -104,7 +108,7 @@ def _config_from(args):
     )
 
 
-def _add_obs_args(parser):
+def _add_obs_args(parser, recorder=True):
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write a JSONL event trace (see 'repro report')")
     parser.add_argument("--trace-filter", default=None, metavar="EXPR",
@@ -119,7 +123,8 @@ def _add_obs_args(parser):
                         help="profiling epoch length in cycles")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
-    _add_recorder_args(parser)
+    if recorder:
+        _add_recorder_args(parser)
 
 
 def _add_recorder_args(parser, sampling=True):
@@ -143,14 +148,16 @@ def _obs_from(args):
         bus = TraceBus(filter=filt)
         bus.attach(JsonlSink(args.trace))
     profiler = PhaseProfiler(args.profile_epoch) if args.profile else None
+    artifacts = getattr(args, "artifacts", None)
     registry = (
         MetricsRegistry()
-        if (args.metrics or args.json or args.artifacts)
+        if (args.metrics or args.json or artifacts)
         else None
     )
+    samples = getattr(args, "samples", None)
     sampler = (
         NetworkSampler(period=args.sample_period)
-        if (args.samples or args.artifacts)
+        if (samples or artifacts)
         else None
     )
     return bus, profiler, registry, sampler
@@ -300,14 +307,28 @@ def cmd_run(args, out):
     bus, profiler, registry, sampler = _obs_from(args)
     config = _config_from(args)
     controller, transport, checker, watchdog = _faults_from(args)
-    result = run_simulation(
-        config, pattern=args.pattern, rate=args.rate,
-        lengths=_lengths_from(args), warmup=args.warmup,
-        measure=args.measure, drain=args.drain,
-        trace=bus, profiler=profiler, metrics=registry, sampler=sampler,
-        faults=controller, transport=transport, invariants=checker,
-        watchdog=watchdog,
-    )
+    try:
+        result = run_simulation(
+            config, pattern=args.pattern, rate=args.rate,
+            lengths=_lengths_from(args), warmup=args.warmup,
+            measure=args.measure, drain=args.drain,
+            trace=bus, profiler=profiler, metrics=registry, sampler=sampler,
+            faults=controller, transport=transport, invariants=checker,
+            watchdog=watchdog,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume, kill_at=args.kill_at,
+        )
+    except SimulationKilled as exc:
+        _finish_obs(args, bus, profiler)
+        out.write(f"repro run: {exc}\n")
+        if args.checkpoint:
+            out.write(f"checkpoint        : {args.checkpoint}\n")
+        return 4
+    except CheckpointError as exc:
+        _finish_obs(args, bus, profiler)
+        out.write(f"repro run: {exc}\n")
+        return 2
     _finish_obs(args, bus, profiler)
     if args.samples:
         sampler.save_jsonl(args.samples)
@@ -344,6 +365,37 @@ def cmd_run(args, out):
                 f" cycles/sec\n"
             )
         _print_fault_summary(result, out)
+    return 0
+
+
+def cmd_resume(args, out):
+    """Resume a checkpointed run and drive it to completion."""
+    bus, profiler, registry, sampler = _obs_from(args)
+    try:
+        result = resume_simulation(
+            args.checkpoint_file, trace=bus, profiler=profiler,
+            metrics=registry, sampler=sampler,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            kill_at=args.kill_at,
+        )
+    except SimulationKilled as exc:
+        _finish_obs(args, bus, profiler)
+        out.write(f"repro resume: {exc}\n")
+        return 4
+    except (CheckpointError, OSError) as exc:
+        out.write(f"repro resume: {exc}\n")
+        return 2
+    _finish_obs(args, bus, profiler)
+    if args.metrics:
+        _save_metrics(registry, args.metrics)
+    if args.json:
+        payload = result.to_dict()
+        payload["metrics"] = registry.to_dict()
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _print_result(result, out)
     return 0
 
 
@@ -561,7 +613,32 @@ def build_parser():
     _add_obs_args(p)
     _add_fault_args(p)
     p.add_argument("--rate", type=float, default=0.4)
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="write periodic checkpoints here (.gz compresses; "
+                        "see 'repro resume')")
+    p.add_argument("--checkpoint-every", type=int, default=1000, metavar="N",
+                   help="cycles between checkpoints (with --checkpoint)")
+    p.add_argument("--resume", default=None, metavar="FILE",
+                   help="resume from a checkpoint (the other flags must "
+                        "describe the same experiment)")
+    p.add_argument("--kill-at", type=int, default=None, metavar="CYCLE",
+                   help="abort after this cycle with exit code 4 "
+                        "(chaos testing for checkpoint/resume)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "resume", help="resume a checkpointed run to completion"
+    )
+    p.add_argument("checkpoint_file", metavar="CHECKPOINT",
+                   help="checkpoint written by run --checkpoint")
+    _add_obs_args(p, recorder=False)
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="keep writing periodic checkpoints while resumed")
+    p.add_argument("--checkpoint-every", type=int, default=1000, metavar="N",
+                   help="cycles between checkpoints (with --checkpoint)")
+    p.add_argument("--kill-at", type=int, default=None, metavar="CYCLE",
+                   help="abort again after this cycle with exit code 4")
+    p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser(
         "faults", help="fault-injection study: run a plan, report resilience"

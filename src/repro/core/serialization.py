@@ -1,0 +1,25 @@
+"""Shared helpers for component ``state_dict()/load_state()`` methods.
+
+Checkpointing (repro.checkpoint) serializes simulator state to JSON.
+``random.Random.getstate()`` returns a nested tuple that JSON cannot
+round-trip, so every RNG-bearing component funnels through these two
+converters: tuples become lists on the way out and are rebuilt on the
+way in (``setstate`` requires the exact tuple shape).
+"""
+
+
+def rng_state_to_json(rng):
+    """``random.Random`` state as a JSON-serializable list."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(state):
+    """Inverse of :func:`rng_state_to_json`."""
+    version, internal, gauss_next = state
+    return (version, tuple(internal), gauss_next)
+
+
+def set_rng_state(rng, state):
+    """Restore a ``random.Random`` from its JSON form."""
+    rng.setstate(rng_state_from_json(state))

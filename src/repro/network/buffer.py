@@ -38,6 +38,30 @@ class VirtualChannel:
     def __len__(self):
         return len(self.queue)
 
+    def state_dict(self, ctx):
+        return {
+            "queue": [ctx.flit(flit) for flit in self.queue],
+            "active_packet": (
+                ctx.packet_ref(self.active_packet)
+                if self.active_packet is not None
+                else None
+            ),
+            "active_out_port": self.active_out_port,
+            "active_out_vc": self.active_out_vc,
+            "wait_cycles": self.wait_cycles,
+        }
+
+    def load_state(self, state, ctx):
+        self.queue = deque(ctx.flit(f) for f in state["queue"])
+        self.active_packet = (
+            ctx.packet(state["active_packet"])
+            if state["active_packet"] is not None
+            else None
+        )
+        self.active_out_port = state["active_out_port"]
+        self.active_out_vc = state["active_out_vc"]
+        self.wait_cycles = state["wait_cycles"]
+
     @property
     def free_slots(self):
         return self.capacity - len(self.queue)

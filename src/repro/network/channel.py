@@ -38,6 +38,30 @@ class PipelinedChannel:
     def __len__(self):
         return len(self._queue)
 
+    def state_dict(self, ctx):
+        """Serialize the in-flight items (flits or credit VC indices).
+
+        Due cycles are absolute, so the restored network must resume at
+        the same ``Network.cycle`` the snapshot was taken at.
+        """
+        from repro.network.flit import Flit
+
+        items = []
+        for due, item in self._queue:
+            if isinstance(item, Flit):
+                items.append({"due": due, "flit": ctx.flit(item)})
+            else:
+                items.append({"due": due, "credit": item})
+        return {"items": items}
+
+    def load_state(self, state, ctx):
+        self._queue.clear()
+        for entry in state["items"]:
+            if "flit" in entry:
+                self._queue.append((entry["due"], ctx.flit(entry["flit"])))
+            else:
+                self._queue.append((entry["due"], entry["credit"]))
+
     def items(self):
         """The queued payloads, in send order (introspection only).
 

@@ -7,9 +7,32 @@ arriving at) and the VC class; body/tail flits inherit the connection
 their head established.
 """
 
-import itertools
+_next_packet_id = 0
 
-_packet_ids = itertools.count()
+
+def _take_packet_id():
+    global _next_packet_id
+    pid = _next_packet_id
+    _next_packet_id += 1
+    return pid
+
+
+def peek_next_packet_id():
+    """The pid the next Packet will receive (checkpoint bookkeeping)."""
+    return _next_packet_id
+
+
+def set_next_packet_id(value):
+    """Reset the pid counter (checkpoint restore / deterministic tests).
+
+    Pids appear in trace events and checkpoints, so bit-identical
+    replays need the counter to start from a known value rather than
+    wherever previous simulations in the process left it.
+    """
+    global _next_packet_id
+    if value < 0:
+        raise ValueError(f"packet id must be >= 0, got {value}")
+    _next_packet_id = value
 
 
 class Packet:
@@ -60,7 +83,7 @@ class Packet:
                  payload=None):
         if size < 1:
             raise ValueError(f"packet size must be >= 1, got {size}")
-        self.pid = next(_packet_ids)
+        self.pid = _take_packet_id()
         self.src = src
         self.dest = dest
         self.size = size

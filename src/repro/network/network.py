@@ -208,6 +208,62 @@ class Network:
         for _ in range(cycles):
             self.step()
 
+    # --- checkpointing ----------------------------------------------------
+
+    def snapshot(self, ctx):
+        """Serialize the complete network state for a checkpoint.
+
+        ``ctx`` is a :class:`repro.checkpoint.SnapshotContext`; shared
+        Packet objects are interned in it by pid so flits of one packet
+        (and terminal queues holding it) reference a single record.
+
+        Fault injection and the reliable transport are refused: their
+        state (pending faults, retransmission queues, per-flow sequence
+        windows) is not snapshotable yet, and silently dropping it would
+        resume a different experiment. Observers (trace, profiler,
+        sampler, invariants, watchdog) are deliberately excluded — they
+        re-attach to a restored run exactly as to a fresh one.
+        """
+        from repro.checkpoint import CheckpointError
+        from repro.core.serialization import rng_state_to_json
+
+        if self.faults is not None or self.transport is not None:
+            raise CheckpointError(
+                "cannot checkpoint a network with fault injection or a "
+                "reliable transport attached"
+            )
+        if self.step_routers is not self.routers:
+            raise CheckpointError(
+                "cannot checkpoint a degraded network (retired routers)"
+            )
+        return {
+            "cycle": self.cycle,
+            "rng": rng_state_to_json(self.rng),
+            "routers": [r.state_dict(ctx) for r in self.routers],
+            "sources": [s.state_dict(ctx) for s in self.sources],
+            "sinks": [s.state_dict(ctx) for s in self.sinks],
+            "stats": self.stats.state_dict(),
+        }
+
+    def restore(self, state, ctx):
+        """Restore a snapshot into this (freshly built) network.
+
+        The network must have been constructed from the same config the
+        snapshot was taken with; repro.checkpoint enforces that via the
+        config hash before calling this.
+        """
+        from repro.core.serialization import set_rng_state
+
+        self.cycle = state["cycle"]
+        set_rng_state(self.rng, state["rng"])
+        for router, s in zip(self.routers, state["routers"]):
+            router.load_state(s, ctx)
+        for source, s in zip(self.sources, state["sources"]):
+            source.load_state(s, ctx)
+        for sink, s in zip(self.sinks, state["sinks"]):
+            sink.load_state(s, ctx)
+        self.stats.load_state(state["stats"])
+
     # --- introspection ----------------------------------------------------
 
     def in_flight_flits(self):

@@ -38,6 +38,7 @@ allocator. Each cycle:
     cycle and never enters switch allocation.
 """
 
+import dataclasses
 from time import perf_counter
 
 from repro.allocators import make_allocator
@@ -82,8 +83,15 @@ class Router:
         self.out_vc_busy = [[False] * V for _ in range(P)]
 
         # Allocators. Both operate on OR-reduced P x P request matrices.
-        self.switch_alloc = make_allocator(config.allocator, P, P)
-        self.pc_alloc = make_allocator(config.pc_allocator, P, P)
+        # Seeds are derived from (config seed, router id, role) so
+        # randomized allocators are reproducible across processes and
+        # runs regardless of how many networks this process built before.
+        self.switch_alloc = make_allocator(
+            config.allocator, P, P, seed=self._alloc_seed(0)
+        )
+        self.pc_alloc = make_allocator(
+            config.pc_allocator, P, P, seed=self._alloc_seed(1)
+        )
         # Split VC allocation (Mullins et al.): a separate VC allocator
         # runs a pipeline stage ahead of SA over the (P*V) x (P*V)
         # input-VC x output-VC request space. In "speculative" mode,
@@ -93,7 +101,8 @@ class Router:
         self.split_va = config.vc_allocation in ("split", "speculative")
         self.speculative_va = config.vc_allocation == "speculative"
         self.vc_alloc = (
-            make_allocator(config.allocator, P * V, P * V)
+            make_allocator(config.allocator, P * V, P * V,
+                           seed=self._alloc_seed(2))
             if self.split_va
             else None
         )
@@ -128,6 +137,87 @@ class Router:
         self.credit_up_channels = [None] * P  # write: credits for input p
         self.downstream_router = [None] * P  # Router id beyond output o, or None
         self.is_terminal_port = [False] * P
+
+    def _alloc_seed(self, role):
+        # Distinct per (config seed, router, allocator role); the exact
+        # mixing only has to be stable, not cryptographic.
+        return (self.config.seed * 1_000_003 + self.router_id) * 4 + role
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self, ctx):
+        """Serialize all mutable router state.
+
+        Channels are owned by their writer, so the write-side channels
+        here (``out_flit_channels``, ``credit_up_channels``) cover every
+        inter-router channel exactly once; terminal injection/ejection
+        channels are owned by sources and sinks.
+        """
+        return {
+            "in_vcs": [
+                [vc.state_dict(ctx) for vc in vcs] for vcs in self.in_vcs
+            ],
+            "conn_in": list(self.conn_in),
+            "conn_out": [
+                list(held) if held is not None else None
+                for held in self.conn_out
+            ],
+            "conn_age": list(self.conn_age),
+            "credits": [list(c) for c in self.credits],
+            "out_vc_busy": [list(b) for b in self.out_vc_busy],
+            "switch_alloc": self.switch_alloc.state_dict(),
+            "pc_alloc": self.pc_alloc.state_dict(),
+            "vc_alloc": (
+                self.vc_alloc.state_dict() if self.vc_alloc is not None else None
+            ),
+            "wasted_speculations": self.wasted_speculations,
+            "sa_vc_arbiters": [a.state_dict() for a in self._sa_vc_arbiters],
+            "pc_vc_arbiters": [a.state_dict() for a in self._pc_vc_arbiters],
+            "chain_stats": dataclasses.asdict(self.chain_stats),
+            "port_flits": list(self.port_flits),
+            "out_flit_channels": [
+                chan.state_dict(ctx) if chan is not None else None
+                for chan in self.out_flit_channels
+            ],
+            "credit_up_channels": [
+                chan.state_dict(ctx) if chan is not None else None
+                for chan in self.credit_up_channels
+            ],
+        }
+
+    def load_state(self, state, ctx):
+        for vcs, vc_states in zip(self.in_vcs, state["in_vcs"]):
+            for vc, vc_state in zip(vcs, vc_states):
+                vc.load_state(vc_state, ctx)
+        self.conn_in = list(state["conn_in"])
+        # JSON turns the (input, vc) holder tuples into lists; convert
+        # back because the router compares them with tuple equality.
+        self.conn_out = [
+            tuple(held) if held is not None else None
+            for held in state["conn_out"]
+        ]
+        self.conn_age = list(state["conn_age"])
+        self.credits = [list(c) for c in state["credits"]]
+        self.out_vc_busy = [list(b) for b in state["out_vc_busy"]]
+        self.switch_alloc.load_state(state["switch_alloc"])
+        self.pc_alloc.load_state(state["pc_alloc"])
+        if self.vc_alloc is not None:
+            self.vc_alloc.load_state(state["vc_alloc"])
+        self.wasted_speculations = state["wasted_speculations"]
+        for arb, s in zip(self._sa_vc_arbiters, state["sa_vc_arbiters"]):
+            arb.load_state(s)
+        for arb, s in zip(self._pc_vc_arbiters, state["pc_vc_arbiters"]):
+            arb.load_state(s)
+        self.chain_stats = ChainStats(**state["chain_stats"])
+        self.port_flits = list(state["port_flits"])
+        for chan, s in zip(self.out_flit_channels, state["out_flit_channels"]):
+            if chan is not None:
+                chan.load_state(s, ctx)
+        for chan, s in zip(self.credit_up_channels, state["credit_up_channels"]):
+            if chan is not None:
+                chan.load_state(s, ctx)
 
     # ------------------------------------------------------------------
     # Phase A: arrivals (called by Network before any router allocates)

@@ -38,6 +38,34 @@ class Source:
     def enqueue(self, packet):
         self.queue.append(packet)
 
+    def state_dict(self, ctx):
+        """Serialize source state plus its write-side injection channel."""
+        return {
+            "credits": list(self.credits),
+            "queue": [ctx.packet_ref(p) for p in self.queue],
+            "inflight": (
+                [ctx.flit(f) for f in self._flits]
+                if self._flits else None
+            ),
+            "vc": self._vc,
+            "flits_sent": self.flits_sent,
+            "alive": self.alive,
+            "flit_channel": self.flit_channel.state_dict(ctx),
+        }
+
+    def load_state(self, state, ctx):
+        self.credits = list(state["credits"])
+        self.queue = deque(ctx.packet(pid) for pid in state["queue"])
+        self._flits = (
+            deque(ctx.flit(f) for f in state["inflight"])
+            if state["inflight"] is not None
+            else None
+        )
+        self._vc = state["vc"]
+        self.flits_sent = state["flits_sent"]
+        self.alive = state["alive"]
+        self.flit_channel.load_state(state["flit_channel"], ctx)
+
     @property
     def backlog(self):
         """Packets not yet fully injected."""
@@ -121,6 +149,17 @@ class Sink:
         #: Lifetime flits taken off the ejection channel (including
         #: discarded corrupted/killed ones — they left the network).
         self.flits_consumed = 0
+
+    def state_dict(self, ctx):
+        """Serialize sink state plus its write-side credit channel."""
+        return {
+            "flits_consumed": self.flits_consumed,
+            "credit_channel": self.credit_channel.state_dict(ctx),
+        }
+
+    def load_state(self, state, ctx):
+        self.flits_consumed = state["flits_consumed"]
+        self.credit_channel.load_state(state["credit_channel"], ctx)
 
     def step(self, cycle):
         tr = self.trace

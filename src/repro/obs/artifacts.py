@@ -22,9 +22,11 @@ the bad direction — the CLI doubles as a CI perf gate. Sweep artifact
 pairs diff rate-by-rate over their common rates.
 """
 
+import contextlib
 import json
 import os
 import platform
+import tempfile
 import time
 from dataclasses import dataclass
 from typing import List, Optional
@@ -45,8 +47,32 @@ _SUMMARY_METRICS = (
 )
 
 
+@contextlib.contextmanager
+def atomic_write(path, mode="w"):
+    """Write ``path`` via a same-directory temp file plus ``os.replace``.
+
+    A crash mid-write leaves either the previous file contents or
+    nothing — never a truncated artifact. Used for every artifact and
+    checkpoint file. ``mode`` is ``"w"`` or ``"wb"``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
 def _dump(path, payload):
-    with open(path, "w") as fh:
+    with atomic_write(path) as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
@@ -84,7 +110,7 @@ def write_run_artifacts(
     _dump(os.path.join(directory, SUMMARY), result.to_dict())
     if registry is not None:
         _dump(os.path.join(directory, METRICS_JSON), registry.to_dict())
-        with open(os.path.join(directory, METRICS_PROM), "w") as fh:
+        with atomic_write(os.path.join(directory, METRICS_PROM)) as fh:
             fh.write(registry.to_prometheus())
         written += [METRICS_JSON, METRICS_PROM]
     if sampler is not None:

@@ -37,6 +37,7 @@ EVENT_TYPES = frozenset(
         "conn_held",  # switch connection register set
         "conn_released",  # switch connection register cleared (with reason)
         "starvation_tick",  # starvation control force-released a connection
+        "drain_aborted",  # drain budget expired with flits still in flight
         # Fault injection and resilience (repro.faults):
         "link_failed",  # a link's data path went down
         "link_repaired",  # a transient link fault expired

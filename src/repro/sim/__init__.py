@@ -1,6 +1,6 @@
 """Simulation harness: runs, sweeps and saturation search."""
 
-from repro.sim.runner import SimulationRun, run_simulation
+from repro.sim.runner import SimulationRun, resume_simulation, run_simulation
 from repro.sim.sweep import rate_sweep, find_saturation, average_results
 from repro.sim.parallel import (
     MatrixResults,
@@ -13,6 +13,7 @@ from repro.sim.parallel import (
 __all__ = [
     "SimulationRun",
     "run_simulation",
+    "resume_simulation",
     "rate_sweep",
     "find_saturation",
     "average_results",

@@ -10,14 +10,27 @@ own future with an optional ``timeout``, and a point that crashes or
 times out is retried (``retries`` attempts, default one) before being
 recorded in the result's ``errors`` list. A bad point costs that point,
 not the sweep — the caller still receives every result that succeeded.
+
+Sweeps are also crash-tolerant at *sweep* granularity: pass
+``journal_dir`` and every completed point is appended to an
+append-only ``journal.jsonl`` (flushed and fsynced per point). If the
+sweep process itself dies — OOM killer, SIGKILL, power loss — rerunning
+with ``resume=True`` replays finished points from the journal and only
+simulates the missing ones. ``watchdog_window`` arms a fresh
+:class:`~repro.faults.watchdog.HangWatchdog` inside each worker so a
+deadlocked point fails fast instead of eating its timeout.
 """
 
 import copy
+import dataclasses
+import json
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.sim.runner import run_simulation
+from repro.stats.summary import SimResult
 
 
 @dataclass
@@ -32,6 +45,9 @@ class SweepPoint:
     #: and the resulting SimResult carries a ``timing`` summary, so
     #: sweeps double as cycles/sec regression probes.
     profile_epoch: Optional[int] = None
+    #: When set, each worker arms a strict HangWatchdog with this
+    #: window, so a deadlocked point raises instead of hanging.
+    watchdog_window: Optional[int] = None
 
 
 @dataclass
@@ -59,6 +75,26 @@ class SweepResults(list):
     def complete(self):
         return not self.errors
 
+    def to_dict(self):
+        """JSON-serializable dict; inverse is :meth:`from_dict`."""
+        return {
+            "results": [
+                {"rate": rate, "result": result.to_dict()}
+                for rate, result in self
+            ],
+            "errors": [dataclasses.asdict(e) for e in self.errors],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            (
+                (item["rate"], SimResult.from_dict(item["result"]))
+                for item in data["results"]
+            ),
+            (PointError(**e) for e in data["errors"]),
+        )
+
 
 class MatrixResults(dict):
     """``{label: [(rate, SimResult)]}`` plus failures in ``errors``."""
@@ -71,6 +107,101 @@ class MatrixResults(dict):
     def complete(self):
         return not self.errors
 
+    def to_dict(self):
+        """JSON-serializable dict; inverse is :meth:`from_dict`."""
+        return {
+            "series": {
+                label: [
+                    {"rate": rate, "result": result.to_dict()}
+                    for rate, result in series
+                ]
+                for label, series in self.items()
+            },
+            "errors": [dataclasses.asdict(e) for e in self.errors],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            {
+                label: [
+                    (item["rate"], SimResult.from_dict(item["result"]))
+                    for item in series
+                ]
+                for label, series in data["series"].items()
+            },
+            (PointError(**e) for e in data["errors"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# completion journal
+
+
+class SweepJournal:
+    """Append-only JSONL record of completed sweep points.
+
+    One line per finished point: ``{"key", "label", "rate", "result"}``.
+    Appends are flushed and fsynced so a completed point survives the
+    sweep process dying the very next instant. A torn final line (crash
+    mid-append) is detected by its JSON parse failure and discarded
+    along with anything after it — the corresponding points simply
+    re-run.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, directory):
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, self.FILENAME)
+
+    def completed(self):
+        """``{key: journal entry}`` for every intact line."""
+        done = {}
+        if not os.path.exists(self.path):
+            return done
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a crash mid-append
+                if isinstance(entry, dict) and "key" in entry:
+                    done[entry["key"]] = entry
+        return done
+
+    def truncate(self):
+        """Start a fresh journal (non-resume sweeps drop stale entries)."""
+        with open(self.path, "w"):
+            pass
+
+    def record(self, key, label, rate, result):
+        entry = {
+            "key": key, "label": label, "rate": rate,
+            "result": result.to_dict(),
+        }
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(entry, separators=(",", ":")))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def _point_key(point, index):
+    """Stable identity of a point within its sweep.
+
+    The index disambiguates repeated (label, rate) pairs; ``repr`` of
+    the rate is exact for floats, so resumed sweeps match reliably.
+    """
+    return f"{point.label}|{index}|{point.rate!r}"
+
+
+# ---------------------------------------------------------------------------
+# execution
+
 
 def _run_point(point: SweepPoint):
     profiler = None
@@ -78,8 +209,14 @@ def _run_point(point: SweepPoint):
         from repro.obs.profiler import PhaseProfiler
 
         profiler = PhaseProfiler(point.profile_epoch)
+    watchdog = None
+    if point.watchdog_window is not None:
+        from repro.faults.watchdog import HangWatchdog
+
+        watchdog = HangWatchdog(window=point.watchdog_window, mode="strict")
     result = run_simulation(
-        point.config, rate=point.rate, profiler=profiler, **point.run_kwargs
+        point.config, rate=point.rate, profiler=profiler, watchdog=watchdog,
+        **point.run_kwargs
     )
     return point.label, point.rate, result
 
@@ -88,8 +225,12 @@ def _describe(exc):
     return f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
 
 
-def _execute(points, workers, timeout, retries):
-    """Run every point; returns (outcomes-in-input-order, errors).
+def _execute(points, workers, timeout, retries, on_result=None):
+    """Run every point; returns (outcomes aligned with ``points``, errors).
+
+    ``outcomes[i]`` is ``(label, rate, SimResult)`` or ``None`` if point
+    ``i`` failed every attempt. ``on_result(i, point, outcome)`` fires
+    in the parent process after each success (the journal hook).
 
     ``workers=0`` runs inline (no timeout enforcement — there is no
     other process to bound). Pool mode submits one future per point;
@@ -99,13 +240,19 @@ def _execute(points, workers, timeout, retries):
     """
     outcomes = [None] * len(points)
     errors = []
+
+    def success(i, point, outcome):
+        outcomes[i] = outcome
+        if on_result is not None:
+            on_result(i, point, outcome)
+
     if workers == 0:
         for i, point in enumerate(points):
             attempts, exc = 0, None
             while attempts <= retries:
                 attempts += 1
                 try:
-                    outcomes[i] = _run_point(point)
+                    success(i, point, _run_point(point))
                     exc = None
                     break
                 except Exception as err:  # noqa: BLE001 - per-point record
@@ -115,7 +262,7 @@ def _execute(points, workers, timeout, retries):
                     PointError(point.label, point.rate, _describe(exc),
                                attempts)
                 )
-        return [o for o in outcomes if o is not None], errors
+        return outcomes, errors
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         futures = [
@@ -125,7 +272,7 @@ def _execute(points, workers, timeout, retries):
         failed = []
         for i, point, fut in futures:
             try:
-                outcomes[i] = fut.result(timeout=timeout)
+                success(i, point, fut.result(timeout=timeout))
             except Exception as exc:  # noqa: BLE001 - includes TimeoutError
                 fut.cancel()
                 failed.append((i, point, 1, exc))
@@ -134,7 +281,7 @@ def _execute(points, workers, timeout, retries):
                 attempts += 1
                 try:
                     fut = pool.submit(_run_point, point)
-                    outcomes[i] = fut.result(timeout=timeout)
+                    success(i, point, fut.result(timeout=timeout))
                     exc = None
                     break
                 except Exception as err:  # noqa: BLE001
@@ -147,12 +294,60 @@ def _execute(points, workers, timeout, retries):
     finally:
         # wait=False so a hung worker cannot wedge the sweep's exit.
         pool.shutdown(wait=False, cancel_futures=True)
-    return [o for o in outcomes if o is not None], errors
+    return outcomes, errors
+
+
+def _execute_journaled(points, workers, timeout, retries, journal_dir,
+                       resume):
+    """Run points, replaying finished ones from the journal on resume.
+
+    Returns (outcomes aligned with ``points``, errors). Without a
+    journal directory this is plain :func:`_execute`.
+    """
+    if journal_dir is None:
+        if resume:
+            raise ValueError("resume=True requires journal_dir")
+        return _execute(points, workers, timeout, retries)
+    journal = SweepJournal(journal_dir)
+    keys = [_point_key(point, i) for i, point in enumerate(points)]
+    cached = {}
+    if resume:
+        done = journal.completed()
+        for i, key in enumerate(keys):
+            if key in done:
+                entry = done[key]
+                cached[i] = (
+                    points[i].label,
+                    entry["rate"],
+                    SimResult.from_dict(entry["result"]),
+                )
+    else:
+        # A fresh (non-resume) sweep must not inherit a stale journal:
+        # its entries would lie about which points this sweep finished.
+        journal.truncate()
+    pending = [(i, point) for i, point in enumerate(points) if i not in cached]
+
+    def on_result(j, point, outcome):
+        i = pending[j][0]
+        journal.record(keys[i], point.label, outcome[1], outcome[2])
+
+    raw, errors = _execute(
+        [point for _, point in pending], workers, timeout, retries,
+        on_result=on_result,
+    )
+    outcomes = [None] * len(points)
+    for i, outcome in cached.items():
+        outcomes[i] = outcome
+    for j, (i, _) in enumerate(pending):
+        outcomes[i] = raw[j]
+    return outcomes, errors
 
 
 def parallel_sweep(config, rates, workers: Optional[int] = None,
                    label: str = "", profile_epoch: Optional[int] = None,
                    timeout: Optional[float] = None, retries: int = 1,
+                   journal_dir: Optional[str] = None, resume: bool = False,
+                   watchdog_window: Optional[int] = None,
                    **run_kwargs):
     """Run one simulation per rate across a process pool.
 
@@ -164,21 +359,31 @@ def parallel_sweep(config, rates, workers: Optional[int] = None,
     the extra attempts a crashed or timed-out point gets.
     ``profile_epoch`` enables per-run pipeline profiling (see
     SweepPoint).
+
+    ``journal_dir`` makes the sweep crash-tolerant: each completed
+    point is appended to ``journal_dir/journal.jsonl`` as it finishes,
+    and ``resume=True`` skips points already journaled by a previous
+    (killed) invocation of the same sweep. ``watchdog_window`` arms a
+    strict HangWatchdog per point.
     """
     points = [
         SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label,
-                   profile_epoch)
+                   profile_epoch, watchdog_window)
         for rate in rates
     ]
-    results, errors = _execute(points, workers, timeout, retries)
+    outcomes, errors = _execute_journaled(
+        points, workers, timeout, retries, journal_dir, resume
+    )
     return SweepResults(
-        ((rate, result) for _, rate, result in results), errors
+        ((o[1], o[2]) for o in outcomes if o is not None), errors
     )
 
 
 def parallel_matrix(configs, rates, workers: Optional[int] = None,
                     profile_epoch: Optional[int] = None,
                     timeout: Optional[float] = None, retries: int = 1,
+                    journal_dir: Optional[str] = None, resume: bool = False,
+                    watchdog_window: Optional[int] = None,
                     **run_kwargs):
     """Sweep a {label: NetworkConfig} matrix of configurations.
 
@@ -186,18 +391,24 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
     whose ``errors`` records per-point failures; a failed point leaves
     a gap in its label's series rather than killing the sweep. All
     points across all configurations share one pool so the pool stays
-    saturated.
+    saturated. ``journal_dir``/``resume``/``watchdog_window`` behave as
+    in :func:`parallel_sweep`.
     """
     points = []
     for label, config in configs.items():
         for rate in rates:
             points.append(
                 SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs),
-                           label, profile_epoch)
+                           label, profile_epoch, watchdog_window)
             )
-    raw, errors = _execute(points, workers, timeout, retries)
+    raw, errors = _execute_journaled(
+        points, workers, timeout, retries, journal_dir, resume
+    )
     out = MatrixResults({label: [] for label in configs}, errors)
-    for label, rate, result in raw:
+    for outcome in raw:
+        if outcome is None:
+            continue
+        label, rate, result = outcome
         out[label].append((rate, result))
     for series in out.values():
         series.sort(key=lambda pair: pair[0])

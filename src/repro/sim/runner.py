@@ -1,12 +1,33 @@
-"""Warmup / measurement / drain simulation driver."""
+"""Warmup / measurement / drain simulation driver.
+
+The driver is resumable: a :class:`SimulationRun` tracks which phase it
+is in (``init`` → ``main`` → ``drain`` → ``done``) and how many drain
+cycles have run, so a run restored from a checkpoint continues exactly
+where the snapshot was taken. ``run_simulation`` wires the checkpoint
+machinery through: ``checkpoint_path``/``checkpoint_every`` write
+periodic snapshots, ``resume_from`` restores one (refused on config
+mismatch), and ``kill_at`` is the chaos switch that aborts the run at a
+given cycle so tests and CI can prove kill/resume equivalence.
+"""
 
 import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.checkpoint import (
+    Checkpointer,
+    CheckpointError,
+    SimulationKilled,
+    lengths_from_spec,
+    lengths_spec,
+    load_checkpoint,
+    restore_run,
+    verify_resumable,
+)
+from repro.network.config import NetworkConfig
 from repro.network.network import Network
-from repro.stats.summary import SimResult, summarize
+from repro.stats.summary import summarize
 from repro.traffic.injection import BernoulliInjector, FixedLength
 from repro.traffic.patterns import build_pattern
 
@@ -22,32 +43,56 @@ class SimulationRun:
     drain: int
     #: Optional MetricsRegistry to publish end-of-run metrics into.
     metrics: Optional[Any] = None
+    #: Resumable progress: the current phase and drain cycles executed.
+    #: Restored from checkpoints; do not touch mid-run.
+    phase: str = "init"
+    drain_cycles_done: int = 0
 
-    def execute(self):
+    def execute(self, checkpointer=None, kill_at=None):
         net, inj = self.network, self.injector
         inj.trace = net.trace  # packet creation shows up in traces
         stats = net.stats
-        stats.set_window(self.warmup, self.warmup + self.measure)
+        if self.phase == "init":
+            stats.set_window(self.warmup, self.warmup + self.measure)
+            self.phase = "main"
         total = self.warmup + self.measure
-        for _ in range(total):
+        while self.phase == "main":
+            if net.cycle >= total:
+                # Drain: stop injecting so in-flight measured packets can
+                # finish and contribute latency samples. Throughput is
+                # computed over the measurement window only, so unstable
+                # (past-saturation) runs are measured correctly without a
+                # full drain.
+                inj.enabled = False
+                self.phase = "drain"
+                break
             for packet in inj.generate(net.cycle):
                 net.inject(packet)
             net.step()
-        # Drain: stop injecting so in-flight measured packets can finish
-        # and contribute latency samples. Throughput is computed over
-        # the measurement window only, so unstable (past-saturation)
-        # runs are measured correctly without a full drain.
-        inj.enabled = False
-        drain_cycles = 0
-        for _ in range(self.drain):
-            if self._quiescent(net):
+            self._after_cycle(checkpointer, kill_at)
+        while self.phase == "drain":
+            if self.drain_cycles_done >= self.drain or self._quiescent(net):
+                self.phase = "done"
                 break
             net.step()
-            drain_cycles += 1
+            self.drain_cycles_done += 1
+            self._after_cycle(checkpointer, kill_at)
         # Report whether the drain actually completed: a False here on a
         # drain-requested run means the drain budget expired with flits
         # still in flight (expect censored latency samples).
         drained = self._quiescent(net) if self.drain > 0 else None
+        warnings = None
+        if drained is False:
+            # Structured warning instead of silently returning partial
+            # latency stats: a trace event plus a SimResult flag.
+            warnings = ["drain_aborted"]
+            tr = net.trace
+            if tr.active:
+                tr.emit(
+                    "drain_aborted", net.cycle,
+                    in_flight=net.in_flight_flits(), backlog=net.backlog(),
+                    drain_cycles=self.drain_cycles_done,
+                )
         timing = None
         if net.profiler is not None:
             net.profiler.finish()
@@ -61,9 +106,22 @@ class SimulationRun:
             net.publish_metrics(self.metrics)
         return summarize(
             stats, inj.rate, net.chain_stats(), net.cycle,
-            drained=drained, drain_cycles=drain_cycles, timing=timing,
-            faults=self._fault_summary(net),
+            drained=drained, drain_cycles=self.drain_cycles_done,
+            timing=timing, faults=self._fault_summary(net),
+            warnings=warnings,
         )
+
+    def _after_cycle(self, checkpointer, kill_at):
+        """Post-cycle hooks: periodic checkpoints, then the chaos switch.
+
+        Checkpoints are taken *between* cycles (``net.cycle`` already
+        advanced), so a resumed run re-executes exactly the cycles the
+        killed run lost.
+        """
+        if checkpointer is not None:
+            checkpointer.maybe_save(self)
+        if kill_at is not None and self.network.cycle >= kill_at:
+            raise SimulationKilled(self.network.cycle)
 
     @staticmethod
     def _quiescent(net):
@@ -111,6 +169,10 @@ def run_simulation(
     transport=None,
     invariants=None,
     watchdog=None,
+    checkpoint_path=None,
+    checkpoint_every=None,
+    resume_from=None,
+    kill_at=None,
 ):
     """Build and execute one simulation; returns a :class:`SimResult`.
 
@@ -136,9 +198,36 @@ def run_simulation(
     :class:`~repro.faults.invariants.InvariantChecker`, and
     ``watchdog`` a :class:`~repro.faults.watchdog.HangWatchdog`. Their
     summaries land in ``SimResult.faults``.
+
+    Checkpoint/restore (repro.checkpoint): ``checkpoint_path`` writes a
+    snapshot every ``checkpoint_every`` cycles (default 1000; ``.gz``
+    paths compress); ``resume_from`` restores a checkpoint file (or an
+    already-loaded payload dict) and continues — the remaining
+    arguments must describe the same experiment, enforced via the
+    embedded config hash. ``kill_at`` aborts the run by raising
+    :class:`~repro.checkpoint.SimulationKilled` once the given cycle
+    completes (chaos testing). Checkpointing is refused when ``faults``
+    or ``transport`` are attached (their state is not snapshotable).
     """
     if seed is not None:
         config = dataclasses.replace(config, seed=seed)
+    dist = lengths if lengths is not None else FixedLength(packet_length)
+    checkpointing = checkpoint_path is not None or resume_from is not None
+    run_spec = None
+    if checkpointing:
+        if faults is not None or transport is not None:
+            raise CheckpointError(
+                "checkpoint/resume does not support fault injection or a "
+                "reliable transport (their state is not snapshotable)"
+            )
+        run_spec = {
+            "pattern": pattern,
+            "rate": rate,
+            "lengths": lengths_spec(dist),
+            "warmup": warmup,
+            "measure": measure,
+            "drain": drain,
+        }
     net = Network(config, trace=trace)
     if profiler is not None:
         net.attach_profiler(profiler)
@@ -157,8 +246,64 @@ def run_simulation(
     if watchdog is not None:
         net.attach_watchdog(watchdog)
     traffic_rng = random.Random(config.seed + 0x5EED)
-    dist = lengths if lengths is not None else FixedLength(packet_length)
     pat = build_pattern(pattern, net.num_terminals, traffic_rng)
     injector = BernoulliInjector(net.num_terminals, pat, rate, dist, traffic_rng)
     run = SimulationRun(net, injector, warmup, measure, drain, metrics=metrics)
-    return run.execute()
+    if resume_from is not None:
+        payload = (
+            resume_from
+            if isinstance(resume_from, dict)
+            else load_checkpoint(resume_from)
+        )
+        verify_resumable(payload, config, run_spec)
+        restore_run(run, payload)
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = Checkpointer(
+            checkpoint_path, checkpoint_every, config, run_spec
+        )
+    return run.execute(checkpointer=checkpointer, kill_at=kill_at)
+
+
+def resume_simulation(
+    path,
+    trace=None,
+    profiler=None,
+    metrics=None,
+    sampler=None,
+    invariants=None,
+    watchdog=None,
+    checkpoint_path=None,
+    checkpoint_every=None,
+    kill_at=None,
+):
+    """Resume a run from a checkpoint file and drive it to completion.
+
+    The network configuration and the run spec (pattern, rate, lengths,
+    phase schedule) are rebuilt from the checkpoint itself, so the only
+    required argument is the file. Observers are re-attached fresh via
+    the keyword arguments; pass ``checkpoint_path`` (e.g. the same
+    file) to keep checkpointing the resumed run.
+    """
+    payload = load_checkpoint(path)
+    config = NetworkConfig.from_dict(payload["config"])
+    spec = payload["run_spec"]
+    return run_simulation(
+        config,
+        pattern=spec["pattern"],
+        rate=spec["rate"],
+        lengths=lengths_from_spec(spec["lengths"]),
+        warmup=spec["warmup"],
+        measure=spec["measure"],
+        drain=spec["drain"],
+        trace=trace,
+        profiler=profiler,
+        metrics=metrics,
+        sampler=sampler,
+        invariants=invariants,
+        watchdog=watchdog,
+        resume_from=payload,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        kill_at=kill_at,
+    )

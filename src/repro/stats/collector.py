@@ -35,6 +35,40 @@ class StatsCollector:
     def set_window(self, start, end):
         self.window = (start, end)
 
+    # --- checkpointing ----------------------------------------------------
+
+    def state_dict(self):
+        """Serialize counters and the window.
+
+        Listener hooks are deliberately excluded: they are observer
+        wiring, not simulation state, and re-attach after a restore the
+        same way they attach to a fresh collector.
+        """
+        return {
+            "window": list(self.window) if self.window is not None else None,
+            "flits_ejected_per_source": list(self.flits_ejected_per_source),
+            "flits_injected_per_source": list(self.flits_injected_per_source),
+            "packets_created_per_source": list(self.packets_created_per_source),
+            "packet_latencies": list(self.packet_latencies),
+            "network_latencies": list(self.network_latencies),
+            "blocked_cycles": list(self.blocked_cycles),
+            "max_packet_latency": self.max_packet_latency,
+            "packets_ejected": self.packets_ejected,
+            "flits_ejected": self.flits_ejected,
+        }
+
+    def load_state(self, state):
+        self.window = tuple(state["window"]) if state["window"] is not None else None
+        self.flits_ejected_per_source = list(state["flits_ejected_per_source"])
+        self.flits_injected_per_source = list(state["flits_injected_per_source"])
+        self.packets_created_per_source = list(state["packets_created_per_source"])
+        self.packet_latencies = list(state["packet_latencies"])
+        self.network_latencies = list(state["network_latencies"])
+        self.blocked_cycles = list(state["blocked_cycles"])
+        self.max_packet_latency = state["max_packet_latency"]
+        self.packets_ejected = state["packets_ejected"]
+        self.flits_ejected = state["flits_ejected"]
+
     # --- listener registration -------------------------------------------
 
     def add_listener(self, listener):

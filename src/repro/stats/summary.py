@@ -2,7 +2,7 @@
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.chaining import ChainStats
 
@@ -14,6 +14,10 @@ class LatencySummary:
     p50: float
     p99: float
     max: float
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
 
     @classmethod
     def of(cls, samples):
@@ -52,6 +56,10 @@ class SimResult:
     #: Robustness summaries (fault counters, transport, invariants,
     #: watchdog) when any of repro.faults was attached; None otherwise.
     faults: Optional[dict] = None
+    #: Structured run warnings (e.g. ``"drain_aborted"`` when the drain
+    #: budget expired with flits still in flight, so latency samples are
+    #: censored). None when the run completed cleanly.
+    warnings: Optional[List[str]] = None
 
     @property
     def saturated(self):
@@ -64,9 +72,21 @@ class SimResult:
         data["saturated"] = self.saturated
         return data
 
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict` (sweep journals round-trip results)."""
+        data = dict(data)
+        data.pop("saturated", None)  # derived property, not a field
+        data["packet_latency"] = LatencySummary.from_dict(data["packet_latency"])
+        data["network_latency"] = LatencySummary.from_dict(data["network_latency"])
+        data["blocking"] = LatencySummary.from_dict(data["blocking"])
+        data["chain_stats"] = ChainStats(**data["chain_stats"])
+        return cls(**data)
+
 
 def summarize(collector, offered_rate, chain_stats, cycles_run,
-              drained=None, drain_cycles=0, timing=None, faults=None):
+              drained=None, drain_cycles=0, timing=None, faults=None,
+              warnings=None):
     """Build a SimResult from a StatsCollector."""
     return SimResult(
         offered_rate=offered_rate,
@@ -81,4 +101,5 @@ def summarize(collector, offered_rate, chain_stats, cycles_run,
         drain_cycles=drain_cycles,
         timing=timing,
         faults=faults,
+        warnings=warnings,
     )

@@ -8,6 +8,7 @@ load in flits matches the requested rate.
 
 from abc import ABC, abstractmethod
 
+from repro.core.serialization import rng_state_to_json, set_rng_state
 from repro.network.flit import Packet
 from repro.obs.trace import NULL_TRACE
 
@@ -78,6 +79,19 @@ class BernoulliInjector:
         #: network's bus so packet creation shows up in traces.
         self.trace = NULL_TRACE
 
+    def state_dict(self):
+        """Serialize injection state.
+
+        The RNG is shared with the traffic pattern (run_simulation
+        builds both from one ``traffic_rng``), so restoring it here
+        restores the pattern's stream too.
+        """
+        return {"rng": rng_state_to_json(self.rng), "enabled": self.enabled}
+
+    def load_state(self, state):
+        set_rng_state(self.rng, state["rng"])
+        self.enabled = state["enabled"]
+
     def _emit(self, src, cycle, packets):
         size = self.lengths.sample(self.rng)
         dest = self.pattern.dest(src, self.rng)
@@ -134,6 +148,15 @@ class MarkovBurstInjector(BernoulliInjector):
         else:
             self.p_enter_on = self.p_exit_on * duty / (1.0 - duty)
         self._on = [self.rng.random() < duty for _ in range(num_terminals)]
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["on"] = list(self._on)
+        return state
+
+    def load_state(self, state):
+        super().load_state(state)
+        self._on = list(state["on"])
 
     def generate(self, cycle):
         if not self.enabled or self.packet_probability == 0.0:

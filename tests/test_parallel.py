@@ -1,9 +1,18 @@
 """Tests for multiprocess sweeps."""
 
+import json
+
 import pytest
 
 from repro.network.config import mesh_config
-from repro.sim.parallel import PointError, parallel_matrix, parallel_sweep
+from repro.sim import parallel as parallel_mod
+from repro.sim.parallel import (
+    MatrixResults,
+    PointError,
+    SweepResults,
+    parallel_matrix,
+    parallel_sweep,
+)
 
 RUN = dict(warmup=100, measure=200, drain=0, pattern="uniform",
            packet_length=1)
@@ -90,3 +99,70 @@ class TestPointFaultTolerance:
                                  workers=0, **RUN)
         assert results.complete
         assert results.errors == []
+
+    def test_timeout_then_retry_success(self, monkeypatch):
+        """A point that times out once succeeds on its retry attempt."""
+        real_run_point = parallel_mod._run_point
+        flaky = {"failed": False}
+
+        def flaky_run_point(point):
+            if not flaky["failed"]:
+                flaky["failed"] = True
+                raise TimeoutError("simulated per-point timeout")
+            return real_run_point(point)
+
+        monkeypatch.setattr(parallel_mod, "_run_point", flaky_run_point)
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, retries=1, **RUN)
+        assert results.complete
+        assert len(results) == 1
+        assert flaky["failed"]
+
+    def test_watchdog_window_is_threaded_into_workers(self, monkeypatch):
+        seen = []
+        real_run_point = parallel_mod._run_point
+
+        def spying_run_point(point):
+            seen.append(point.watchdog_window)
+            return real_run_point(point)
+
+        monkeypatch.setattr(parallel_mod, "_run_point", spying_run_point)
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, watchdog_window=500, **RUN)
+        assert results.complete
+        assert seen == [500]
+
+
+class TestResultsRoundTrip:
+    def test_point_error_survives_sweep_results_to_dict(self):
+        results = parallel_sweep(BAD, rates=[0.05], workers=0, retries=0,
+                                 label="bad", **RUN)
+        data = json.loads(json.dumps(results.to_dict()))
+        back = SweepResults.from_dict(data)
+        assert not back.complete
+        assert len(back.errors) == 1
+        err = back.errors[0]
+        assert isinstance(err, PointError)
+        assert (err.label, err.rate, err.attempts) == ("bad", 0.05, 1)
+        assert "no-such-allocator" in err.error
+
+    def test_sweep_results_round_trip(self):
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05, 0.1],
+                                 workers=0, **RUN)
+        back = SweepResults.from_dict(json.loads(json.dumps(results.to_dict())))
+        assert back.complete
+        assert [r for r, _ in back] == [0.05, 0.1]
+        assert [res.to_dict() for _, res in back] == \
+            [res.to_dict() for _, res in results]
+
+    def test_matrix_results_round_trip(self):
+        out = parallel_matrix(
+            {"good": mesh_config(mesh_k=4), "bad": BAD},
+            rates=[0.05], workers=0, retries=0, **RUN
+        )
+        back = MatrixResults.from_dict(json.loads(json.dumps(out.to_dict())))
+        assert set(back) == {"good", "bad"}
+        assert not back.complete
+        assert back.errors[0].label == "bad"
+        assert [res.to_dict() for _, res in back["good"]] == \
+            [res.to_dict() for _, res in out["good"]]
