@@ -21,6 +21,13 @@ Examples::
     python -m repro run --rate 0.4 --checkpoint ck.json.gz \\
         --checkpoint-every 500 --kill-at 1200
     python -m repro resume ck.json.gz --json
+    python -m repro run --rate 0.4 --progress --json > result.json
+    python -m repro sweep --rates 0.2 0.3 0.4 --telemetry /tmp/tel &
+    python -m repro watch /tmp/tel
+    python -m repro run --rate 0.4 --profile prof.json
+    python -m repro report prof.json --collapsed stacks.txt
+    python -m repro bench --quick
+    python -m repro bench --quick --compare benchmarks/baselines/bench_trend.json
 """
 
 import argparse
@@ -42,18 +49,23 @@ from repro.obs import (
     MetricsRegistry,
     NetworkSampler,
     PhaseProfiler,
+    RunTelemetry,
     TraceBus,
     TraceFilter,
     build_spans,
+    collapsed_from_dict,
     compare_artifacts,
     format_diff,
+    format_profile_report,
     format_report,
     format_spans_report,
+    is_profile_dict,
     read_jsonl,
     summarize_trace,
     write_run_artifacts,
     write_sweep_manifest,
 )
+from repro.obs.watch import watch as watch_telemetry
 from repro.obs.artifacts import rate_subdir
 from repro.sim.runner import resume_simulation, run_simulation
 from repro.sim.sweep import find_saturation
@@ -118,9 +130,19 @@ def _add_obs_args(parser, recorder=True):
                         help="export run metrics (.prom/.txt: Prometheus "
                              "text format, otherwise JSON)")
     parser.add_argument("--profile", default=None, metavar="FILE",
-                        help="profile router pipeline phases to a JSON file")
+                        help="profile router pipeline phases to a JSON file "
+                             "(see 'repro report')")
     parser.add_argument("--profile-epoch", type=int, default=1000,
                         help="profiling epoch length in cycles")
+    parser.add_argument("--progress", action="store_true",
+                        help="single-line live heartbeat (cycle, cycles/sec, "
+                             "ETA) on stderr; stdout stays clean for --json")
+    parser.add_argument("--heartbeat", default=None, metavar="FILE",
+                        help="append fsynced telemetry heartbeat records to "
+                             "a JSONL file (obs.telemetry)")
+    parser.add_argument("--heartbeat-every", type=int, default=1000,
+                        metavar="N", help="cycles between heartbeats "
+                        "(with --progress/--heartbeat/--telemetry)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
     if recorder:
@@ -141,7 +163,7 @@ def _add_recorder_args(parser, sampling=True):
 
 
 def _obs_from(args):
-    """Build (trace bus, profiler, metrics, sampler) from CLI flags."""
+    """Build (bus, profiler, metrics, sampler, telemetry) from CLI flags."""
     bus = None
     if args.trace:
         filt = TraceFilter.parse(args.trace_filter) if args.trace_filter else None
@@ -160,7 +182,14 @@ def _obs_from(args):
         if (samples or artifacts)
         else None
     )
-    return bus, profiler, registry, sampler
+    telemetry = None
+    if args.progress or args.heartbeat:
+        telemetry = RunTelemetry(
+            path=args.heartbeat, every=args.heartbeat_every,
+            console=sys.stderr if args.progress else None,
+            rate=getattr(args, "rate", None),
+        )
+    return bus, profiler, registry, sampler, telemetry
 
 
 def _add_fault_args(parser):
@@ -304,7 +333,7 @@ def _print_result(result, out):
 
 
 def cmd_run(args, out):
-    bus, profiler, registry, sampler = _obs_from(args)
+    bus, profiler, registry, sampler, telemetry = _obs_from(args)
     config = _config_from(args)
     controller, transport, checker, watchdog = _faults_from(args)
     try:
@@ -313,6 +342,7 @@ def cmd_run(args, out):
             lengths=_lengths_from(args), warmup=args.warmup,
             measure=args.measure, drain=args.drain,
             trace=bus, profiler=profiler, metrics=registry, sampler=sampler,
+            telemetry=telemetry,
             faults=controller, transport=transport, invariants=checker,
             watchdog=watchdog,
             checkpoint_path=args.checkpoint,
@@ -370,11 +400,11 @@ def cmd_run(args, out):
 
 def cmd_resume(args, out):
     """Resume a checkpointed run and drive it to completion."""
-    bus, profiler, registry, sampler = _obs_from(args)
+    bus, profiler, registry, sampler, telemetry = _obs_from(args)
     try:
         result = resume_simulation(
             args.checkpoint_file, trace=bus, profiler=profiler,
-            metrics=registry, sampler=sampler,
+            metrics=registry, sampler=sampler, telemetry=telemetry,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             kill_at=args.kill_at,
@@ -492,6 +522,7 @@ def cmd_sweep(args, out):
     results = rate_sweep(
         lambda: _config_from(args), args.rates,
         metrics_factory=MetricsRegistry if want_metrics else None,
+        telemetry_dir=args.telemetry, heartbeat_every=args.heartbeat_every,
         pattern=args.pattern, lengths=_lengths_from(args),
         warmup=args.warmup, measure=args.measure, drain=0,
     )
@@ -529,7 +560,36 @@ def cmd_sweep(args, out):
     return 0
 
 
+def _try_load_profile(path):
+    """Parsed profile dict if ``path`` is a PhaseProfiler JSON, else None."""
+    if path == "-":
+        return None
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(1) not in (b"{", b""):
+                return None
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return data if is_profile_dict(data) else None
+
+
 def cmd_report(args, out):
+    profile = _try_load_profile(args.tracefile)
+    if profile is not None:
+        out.write(format_profile_report(profile, top=args.top))
+        if args.collapsed:
+            with open(args.collapsed, "w") as fh:
+                for line in collapsed_from_dict(profile):
+                    fh.write(line + "\n")
+            out.write(f"collapsed stacks  : {args.collapsed}"
+                      " (flamegraph.pl / speedscope compatible)\n")
+        return 0
+    if args.collapsed:
+        out.write("repro report: --collapsed needs a profile JSON "
+                  "(written by run --profile)\n")
+        return 2
     events = read_jsonl(args.tracefile)
     out.write(format_report(summarize_trace(events), top=args.top))
     return 0
@@ -561,6 +621,99 @@ def cmd_diff(args, out):
     else:
         out.write(format_diff(diff))
     return 1 if diff.regressions else 0
+
+
+def cmd_watch(args, out):
+    """Live dashboard over a run/sweep telemetry directory."""
+    if args.json:
+        from repro.obs.watch import scan_telemetry_dir
+
+        try:
+            state = scan_telemetry_dir(args.directory,
+                                       stale_after=args.stale_after)
+        except FileNotFoundError as exc:
+            out.write(f"repro watch: {exc}\n")
+            return 2
+        payload = {
+            "directory": state.directory,
+            "all_finished": state.all_finished,
+            "counts": state.counts,
+            "aggregate_cycles_per_sec": state.aggregate_cycles_per_sec,
+            "eta_sec": state.eta_sec,
+            "points": [
+                {
+                    "index": p.index, "label": p.label, "rate": p.rate,
+                    "status": p.status, "cycle": p.cycle,
+                    "total_cycles": p.total_cycles,
+                    "progress": p.progress,
+                    "cycles_per_sec": p.cycles_per_sec,
+                    "eta_sec": p.eta_sec, "rss_kb": p.rss_kb,
+                    "wall_seconds": p.wall_seconds, "worker": p.pid,
+                }
+                for p in state.points
+            ],
+        }
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 1 if (payload["counts"].get("failed", 0)
+                     + payload["counts"].get("killed", 0)
+                     + payload["counts"].get("stalled?", 0)) else 0
+    return watch_telemetry(
+        args.directory, out, follow=not args.once, interval=args.interval,
+        stale_after=args.stale_after,
+    )
+
+
+def cmd_bench(args, out):
+    """Standardized throughput suite + the perf-trend gate."""
+    from repro import bench
+
+    history_path = args.history or bench.default_history_path()
+
+    def progress(name):
+        sys.stderr.write(f"bench: {name}...\n")
+        sys.stderr.flush()
+
+    entry = bench.run_suite(
+        quick=args.quick, scale=args.scale, repeats=args.repeats,
+        progress=progress if not args.json else None,
+    )
+    comparison = None
+    if args.compare is not None:
+        # Explicit reference file (e.g. a checked-in trend baseline),
+        # or the existing history when --compare is given bare.
+        ref_path = args.compare or history_path
+        try:
+            reference = bench.reference_cases(
+                bench.load_history(ref_path),
+                metric="cycles_per_sec" if args.raw else "normalized",
+            )
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            out.write(f"repro bench: bad reference {ref_path}: {exc}\n")
+            return 2
+        if not reference:
+            out.write(f"repro bench: no reference entries in {ref_path}\n")
+            return 2
+        comparison = bench.compare_entries(
+            entry, reference, threshold=args.threshold,
+            metric="cycles_per_sec" if args.raw else "normalized",
+        )
+    if not args.no_append:
+        bench.append_history(history_path, entry)
+    if args.json:
+        payload = {"entry": entry, "history": history_path}
+        if comparison is not None:
+            payload["comparison"] = comparison.to_dict()
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(bench.format_entry(entry))
+        if not args.no_append:
+            out.write(f"history           : {history_path}\n")
+        if comparison is not None:
+            out.write("\n")
+            out.write(bench.format_comparison(comparison))
+    return 1 if comparison is not None and not comparison.ok else 0
 
 
 def cmd_saturation(args, out):
@@ -685,15 +838,74 @@ def build_parser():
                    default=[0.1, 0.2, 0.3, 0.4, 0.5])
     p.add_argument("--json", action="store_true",
                    help="emit one JSON array of per-rate results")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="write per-rate heartbeat files into DIR "
+                        "(follow live with 'repro watch DIR')")
+    p.add_argument("--heartbeat-every", type=int, default=1000, metavar="N",
+                   help="cycles between heartbeats (with --telemetry)")
     _add_recorder_args(p, sampling=False)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("report", help="summarize a JSONL event trace")
+    p = sub.add_parser(
+        "report",
+        help="summarize a JSONL event trace or a --profile JSON",
+    )
     p.add_argument("tracefile",
-                   help="trace written by run --trace (.gz ok, '-' = stdin)")
+                   help="trace written by run --trace (.gz ok, '-' = stdin) "
+                        "or a profile JSON written by run --profile")
     p.add_argument("--top", type=int, default=10,
-                   help="rows in the contention / blocked-packet tables")
+                   help="rows in the contention / blocked-packet / hot-spot "
+                        "tables")
+    p.add_argument("--collapsed", default=None, metavar="FILE",
+                   help="with a profile JSON: export collapsed stacks "
+                        "(flamegraph.pl / speedscope format)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "watch", help="live dashboard over a sweep telemetry directory"
+    )
+    p.add_argument("directory",
+                   help="telemetry dir written by parallel_sweep/"
+                        "rate_sweep (sweep --telemetry)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                   help="poll interval while following")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (no follow loop)")
+    p.add_argument("--stale-after", type=float, default=30.0, metavar="SEC",
+                   help="flag a running point as stalled after this many "
+                        "seconds without a heartbeat")
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable state snapshot")
+    p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "bench",
+        help="standardized cycles/sec suite + perf-trend gate",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized subset of the suite")
+    p.add_argument("--repeats", type=int, default=3, metavar="N",
+                   help="timed repeats per case (plus one discarded warmup)")
+    p.add_argument("--scale", type=float, default=1.0, metavar="X",
+                   help="multiply all simulated phase lengths")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="trend history file (default BENCH_<host>.json "
+                        "in the current directory)")
+    p.add_argument("--no-append", action="store_true",
+                   help="measure and compare without recording history")
+    p.add_argument("--compare", nargs="?", const="", default=None,
+                   metavar="REF",
+                   help="gate against REF (a history/baseline JSON; bare "
+                        "--compare uses the history itself); exit 1 past "
+                        "the threshold")
+    p.add_argument("--threshold", type=float, default=15.0, metavar="PCT",
+                   help="percent cycles/sec drop that fails the gate")
+    p.add_argument("--raw", action="store_true",
+                   help="compare raw cycles/sec instead of "
+                        "calibration-normalized values")
+    p.add_argument("--json", action="store_true",
+                   help="emit the entry (and comparison) as JSON")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "spans", help="per-packet latency decomposition from a trace"

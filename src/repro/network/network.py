@@ -135,6 +135,19 @@ class Network:
             router.profiler = profiler
         return profiler
 
+    def detach_profiler(self):
+        """Stop profiling; returns the detached profiler (or None).
+
+        The profiler keeps its accumulated epochs, so it can be
+        re-attached later (or to another network) and continue
+        accumulating — only cycles executed while attached are counted.
+        """
+        profiler = self.profiler
+        self.profiler = None
+        for router in self.routers:
+            router.profiler = None
+        return profiler
+
     def attach_sampler(self, sampler):
         """Enable periodic network-state snapshots (obs.sampler)."""
         self.sampler = sampler

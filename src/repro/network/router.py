@@ -126,6 +126,10 @@ class Router:
         #: path pays one attribute load + branch per emission site.
         self.trace = NULL_TRACE
         self.profiler = None
+        # Component labels for the profiler's hot-spot attribution
+        # (per-allocator wall time inside the sa/pc/vc_alloc phases).
+        self._prof_sa = "alloc:" + config.allocator
+        self._prof_pc = "alloc:" + config.pc_allocator
         #: Fault injection: a RouterFaultView installed by the
         #: FaultController, or None (the common, zero-overhead case).
         self.faults = None
@@ -294,11 +298,24 @@ class Router:
                         pair: prio % PCRequestBuilder.CLASS_STRIDE
                         for pair, prio in matrix.items()
                     }
-                pc_grants = self.pc_alloc.allocate(matrix)
+                if prof is not None:
+                    ta = perf_counter()
+                    pc_grants = self.pc_alloc.allocate(matrix)
+                    prof.add_component("pc", self._prof_pc,
+                                       perf_counter() - ta)
+                else:
+                    pc_grants = self.pc_alloc.allocate(matrix)
         if prof is not None:
             t1 = perf_counter(); prof.add("pc", t1 - t0); t0 = t1
 
-        sa_grants = self.switch_alloc.allocate(sa_requests) if sa_requests else {}
+        if not sa_requests:
+            sa_grants = {}
+        elif prof is not None:
+            ta = perf_counter()
+            sa_grants = self.switch_alloc.allocate(sa_requests)
+            prof.add_component("sa", self._prof_sa, perf_counter() - ta)
+        else:
+            sa_grants = self.switch_alloc.allocate(sa_requests)
         sa_winner_vc, sa_tail_outputs = self._commit_sa(
             cycle, sa_grants, sa_contrib, departed_vcs
         )
@@ -949,7 +966,15 @@ class Router:
         if not requests:
             return
         tr = self.trace
-        for in_idx, out_idx in self.vc_alloc.allocate(requests).items():
+        prof = self.profiler
+        if prof is not None:
+            ta = perf_counter()
+            grants = self.vc_alloc.allocate(requests)
+            prof.add_component("vc_alloc", self._prof_sa,
+                               perf_counter() - ta)
+        else:
+            grants = self.vc_alloc.allocate(requests)
+        for in_idx, out_idx in grants.items():
             p, v, flit, w = requesters[(in_idx, out_idx)]
             self.in_vcs[p][v].start_packet(flit.packet, flit.out_port, w)
             self.out_vc_busy[flit.out_port][w] = True

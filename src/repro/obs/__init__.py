@@ -18,7 +18,12 @@ Instruments, all zero-overhead when unused:
   (buffer occupancy, credits, held connections, link utilization) in a
   bounded ring buffer, with JSONL export and ASCII heatmaps;
 - :mod:`repro.obs.artifacts` — the run-artifact flight recorder
-  (``--artifacts DIR``) and regression differ (``repro diff``).
+  (``--artifacts DIR``) and regression differ (``repro diff``);
+- :mod:`repro.obs.telemetry` — host-performance heartbeats
+  (cycles/sec, ETA, RSS) written to fsynced JSONL files per run or per
+  sweep point (``--progress``/``--telemetry``);
+- :mod:`repro.obs.watch` — the live ASCII dashboard over a sweep's
+  telemetry directory (``repro watch``).
 
 :mod:`repro.obs.report` summarizes a trace file (chain-length
 distribution, port contention, top-blocked packets) for ``repro
@@ -41,9 +46,31 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.profiler import PHASES, PhaseProfiler
+from repro.obs.profiler import (
+    PHASES,
+    PhaseProfiler,
+    collapsed_from_dict,
+    compute_hotspots,
+    format_profile_report,
+    hotspots_from_dict,
+    is_profile_dict,
+)
 from repro.obs.report import TraceSummary, format_report, summarize_trace
 from repro.obs.sampler import SAMPLE_FIELDS, NetworkSampler
+from repro.obs.telemetry import (
+    HEARTBEAT_SUFFIX,
+    RunTelemetry,
+    init_telemetry_dir,
+    point_heartbeat_path,
+    read_heartbeats,
+)
+from repro.obs.watch import (
+    PointState,
+    WatchState,
+    format_watch,
+    scan_telemetry_dir,
+    watch,
+)
 from repro.obs.spans import (
     SPAN_COMPONENTS,
     PacketSpan,
@@ -83,6 +110,21 @@ __all__ = [
     "CHAIN_LENGTH_EDGES",
     "PhaseProfiler",
     "PHASES",
+    "compute_hotspots",
+    "hotspots_from_dict",
+    "collapsed_from_dict",
+    "is_profile_dict",
+    "format_profile_report",
+    "RunTelemetry",
+    "read_heartbeats",
+    "init_telemetry_dir",
+    "point_heartbeat_path",
+    "HEARTBEAT_SUFFIX",
+    "WatchState",
+    "PointState",
+    "scan_telemetry_dir",
+    "format_watch",
+    "watch",
     "TraceSummary",
     "summarize_trace",
     "format_report",

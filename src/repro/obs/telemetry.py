@@ -1,0 +1,307 @@
+"""Host-performance run telemetry: heartbeats, progress, ETA.
+
+A :class:`RunTelemetry` rides along with one simulation (attached via
+``run_simulation(telemetry=...)``) and periodically reports how the run
+is doing *on the host*: simulated cycle reached, instantaneous and
+average wall-clock cycles/sec, fraction of the phase schedule
+completed, an ETA, resident-set memory, and — when a
+:class:`~repro.obs.profiler.PhaseProfiler` is also attached — the
+per-phase wall-time split so far.
+
+Two independent outputs, both optional:
+
+- ``path`` — an append-only JSONL heartbeat file. Every record is
+  flushed and fsynced, so another process (``repro watch``) can tail
+  live state even if this process is later SIGKILLed; a torn final
+  line is tolerated by :func:`read_heartbeats`.
+- ``console`` — a text stream (normally ``sys.stderr``) that gets a
+  single carriage-return-rewritten progress line per heartbeat, so
+  ``repro run --progress --json`` keeps machine-readable stdout clean.
+
+Sweeps write one heartbeat file per point into a shared telemetry
+directory prepared by :func:`init_telemetry_dir`; ``repro watch DIR``
+(:mod:`repro.obs.watch`) renders the directory as a live dashboard.
+
+Overhead: the hot path pays one attribute load and an integer compare
+per cycle between heartbeats (``on_cycle`` returns immediately until
+the next sampling cycle), matching the trace bus's disabled-by-default
+budget; ``benchmarks/test_obs_overhead.py`` holds it under 5%.
+"""
+
+import json
+import os
+import socket
+import time
+
+#: Suffix for per-run heartbeat files inside a telemetry directory.
+HEARTBEAT_SUFFIX = ".hb.jsonl"
+
+#: Name of the per-sweep manifest written by :func:`init_telemetry_dir`.
+TELEMETRY_MANIFEST = "sweep.json"
+
+
+def rss_kb():
+    """Resident set size of this process in kB (0 if undeterminable)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kB; macOS reports bytes.
+        return usage // 1024 if usage > 1 << 30 else usage
+    except Exception:  # pragma: no cover - platform without getrusage
+        return 0
+
+
+def _format_eta(seconds):
+    """Compact ``h:mm:ss`` rendering (``"-"`` when unknown)."""
+    if seconds is None or seconds < 0:
+        return "-"
+    seconds = int(round(seconds))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+class RunTelemetry:
+    """Heartbeat emitter for one simulation run.
+
+    ``every`` is the sampling period in cycles. ``total_cycles`` is the
+    planned phase schedule (warmup + measure + drain); the drain may end
+    early on quiescence, so progress/ETA treat it as an upper bound.
+    ``label``/``rate`` identify the run inside a sweep's telemetry
+    directory. The runner calls :meth:`begin`, :meth:`on_cycle` once per
+    simulated cycle, and :meth:`finish`.
+    """
+
+    def __init__(self, path=None, every=1000, console=None, label="",
+                 rate=None, total_cycles=None, clock=time.monotonic,
+                 walltime=time.time):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.path = path
+        self.every = every
+        self.console = console
+        self.label = label
+        self.rate = rate
+        self.total_cycles = total_cycles
+        self.records_written = 0
+        self._clock = clock
+        self._walltime = walltime
+        self._fh = None
+        self._profiler = None
+        self._start_time = None
+        self._start_cycle = 0
+        self._last_time = None
+        self._last_cycle = 0
+        self._next_cycle = every
+        self._finished = False
+        self._console_dirty = False
+
+    # --- lifecycle (called by the runner) -----------------------------
+
+    def begin(self, total_cycles=None, profiler=None, start_cycle=0):
+        """Open the heartbeat file and emit the ``start`` record."""
+        if total_cycles is not None:
+            self.total_cycles = total_cycles
+        self._profiler = profiler
+        now = self._clock()
+        self._start_time = self._last_time = now
+        self._start_cycle = self._last_cycle = start_cycle
+        self._next_cycle = start_cycle + self.every
+        if self.path is not None and self._fh is None:
+            self._fh = open(self.path, "a")
+        self._emit(
+            {
+                "ev": "start",
+                "t": self._walltime(),
+                "cycle": start_cycle,
+                "total_cycles": self.total_cycles,
+                "label": self.label,
+                "rate": self.rate,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+            }
+        )
+
+    def on_cycle(self, cycle, phase):
+        """Hot-path hook: emit a heartbeat every ``every`` cycles."""
+        if cycle < self._next_cycle:
+            return
+        self._next_cycle = cycle + self.every
+        self._heartbeat(cycle, phase)
+
+    def finish(self, status="done", cycle=None, result=None):
+        """Emit the terminal record and close the heartbeat file.
+
+        ``status`` is ``"done"`` for a clean finish, or a short reason
+        (``"killed"``, ``"failed"``) otherwise. Safe to call twice.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        now = self._clock()
+        elapsed = (now - self._start_time) if self._start_time else 0.0
+        if cycle is None:
+            cycle = self._last_cycle
+        cycles = cycle - self._start_cycle
+        record = {
+            "ev": "finish",
+            "t": self._walltime(),
+            "status": status,
+            "cycle": cycle,
+            "total_cycles": self.total_cycles,
+            "wall_seconds": elapsed,
+            "cycles_per_sec": cycles / elapsed if elapsed > 0 else 0.0,
+            "rss_kb": rss_kb(),
+            "label": self.label,
+            "rate": self.rate,
+        }
+        if result is not None:
+            record["result"] = {
+                "avg_throughput": result.avg_throughput,
+                "packet_latency_mean": result.packet_latency.mean,
+                "cycles_run": result.cycles_run,
+            }
+        self._emit(record)
+        if self.console is not None and self._console_dirty:
+            # End the carriage-return progress line cleanly.
+            self.console.write("\n")
+            self.console.flush()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # --- internals ----------------------------------------------------
+
+    def _heartbeat(self, cycle, phase):
+        now = self._clock()
+        span = now - self._last_time
+        inst = (cycle - self._last_cycle) / span if span > 0 else 0.0
+        elapsed = now - self._start_time
+        avg = (cycle - self._start_cycle) / elapsed if elapsed > 0 else 0.0
+        progress = eta = None
+        if self.total_cycles:
+            progress = min(1.0, cycle / self.total_cycles)
+            if avg > 0:
+                eta = max(0, self.total_cycles - cycle) / avg
+        record = {
+            "ev": "heartbeat",
+            "t": self._walltime(),
+            "cycle": cycle,
+            "total_cycles": self.total_cycles,
+            "phase": phase,
+            "cycles_per_sec": inst,
+            "avg_cycles_per_sec": avg,
+            "progress": progress,
+            "eta_sec": eta,
+            "rss_kb": rss_kb(),
+            "label": self.label,
+            "rate": self.rate,
+            "pid": os.getpid(),
+        }
+        if self._profiler is not None:
+            record["phase_seconds"] = self._profiler.phase_totals()
+        self._emit(record)
+        if self.console is not None:
+            self._console_line(record)
+        self._last_time, self._last_cycle = now, cycle
+
+    def _console_line(self, record):
+        total = f"/{self.total_cycles}" if self.total_cycles else ""
+        pct = (
+            f" ({100 * record['progress']:.0f}%)"
+            if record["progress"] is not None
+            else ""
+        )
+        self.console.write(
+            f"\rcycle {record['cycle']}{total}{pct}"
+            f"  {record['cycles_per_sec']:.0f} cycles/sec"
+            f"  eta {_format_eta(record['eta_sec'])}  "
+        )
+        self.console.flush()
+        self._console_dirty = True
+
+    def _emit(self, record):
+        self.records_written += 1
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+        # Flush + fsync per record: a heartbeat that was reported is
+        # durable, so `repro watch` never sees a silently-stale file
+        # from a live process (only from a dead one).
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+
+# ---------------------------------------------------------------------------
+# telemetry directories (sweeps)
+
+
+def point_heartbeat_path(directory, index):
+    """Heartbeat file for sweep point ``index`` inside ``directory``."""
+    return os.path.join(directory, f"point{index:04d}{HEARTBEAT_SUFFIX}")
+
+
+def init_telemetry_dir(directory, points, walltime=time.time):
+    """Prepare a sweep telemetry directory and write its manifest.
+
+    ``points`` is a list of ``{"label", "rate"}``-style dicts in sweep
+    order; the manifest lets ``repro watch`` show points that have not
+    produced a heartbeat yet (queued behind the worker pool). Stale
+    heartbeat files from a previous sweep in the same directory are
+    removed so the dashboard never mixes two sweeps.
+    """
+    os.makedirs(directory, exist_ok=True)
+    for name in os.listdir(directory):
+        if name.endswith(HEARTBEAT_SUFFIX):
+            os.unlink(os.path.join(directory, name))
+    manifest = {
+        "created": walltime(),
+        "pid": os.getpid(),
+        "points": [
+            {
+                "index": i,
+                "file": os.path.basename(point_heartbeat_path(directory, i)),
+                "label": p.get("label", ""),
+                "rate": p.get("rate"),
+            }
+            for i, p in enumerate(points)
+        ],
+    }
+    path = os.path.join(directory, TELEMETRY_MANIFEST)
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.write("\n")
+    return manifest
+
+
+def read_heartbeats(path):
+    """Parse one heartbeat file; a torn final line is discarded.
+
+    Returns the list of record dicts. Missing file -> empty list, so
+    watchers can poll paths that workers have not created yet.
+    """
+    records = []
+    try:
+        fh = open(path)
+    except OSError:
+        return records
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: the writer died mid-append
+            if isinstance(record, dict):
+                records.append(record)
+    return records

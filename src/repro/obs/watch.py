@@ -1,0 +1,302 @@
+"""Live ASCII dashboard over a sweep telemetry directory.
+
+``repro watch DIR`` polls the heartbeat files that
+:func:`~repro.sim.parallel.parallel_sweep` /
+:func:`~repro.sim.sweep.rate_sweep` workers write (obs.telemetry) and
+renders the sweep's host-side state: a progress bar, cycle position,
+instantaneous cycles/sec and ETA per point, plus aggregate throughput,
+the overall ETA, and stragglers (running points significantly behind
+the mean progress). Because heartbeats are fsynced per record, the
+dashboard is accurate for running sweeps, crashed sweeps (points go
+``stalled?`` once their heartbeats stop), and finished ones alike.
+
+The scanner is pure (directory -> :class:`WatchState`), so the renderer
+and the CLI loop are independently testable.
+"""
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs.telemetry import (
+    HEARTBEAT_SUFFIX,
+    TELEMETRY_MANIFEST,
+    read_heartbeats,
+)
+
+#: A running point whose last heartbeat is older than this many seconds
+#: is flagged as possibly stalled (its worker may have died mid-run).
+STALE_AFTER = 30.0
+
+#: A running point this far (absolute progress fraction) behind the
+#: mean progress of running points is reported as a straggler.
+STRAGGLER_GAP = 0.25
+
+
+@dataclass
+class PointState:
+    """Telemetry-derived state of one sweep point."""
+
+    index: int
+    label: str = ""
+    rate: Optional[float] = None
+    #: pending | running | done | killed | failed | stalled?
+    status: str = "pending"
+    cycle: int = 0
+    total_cycles: Optional[int] = None
+    cycles_per_sec: float = 0.0
+    eta_sec: Optional[float] = None
+    rss_kb: int = 0
+    wall_seconds: Optional[float] = None
+    last_update: Optional[float] = None
+    pid: Optional[int] = None
+
+    @property
+    def progress(self):
+        if self.status == "done":
+            return 1.0
+        if not self.total_cycles:
+            return None
+        return min(1.0, self.cycle / self.total_cycles)
+
+    @property
+    def finished(self):
+        return self.status in ("done", "killed", "failed")
+
+
+@dataclass
+class WatchState:
+    """Everything one dashboard frame needs."""
+
+    directory: str
+    points: List[PointState] = field(default_factory=list)
+
+    @property
+    def counts(self):
+        tally = {}
+        for point in self.points:
+            tally[point.status] = tally.get(point.status, 0) + 1
+        return tally
+
+    @property
+    def all_finished(self):
+        return bool(self.points) and all(p.finished for p in self.points)
+
+    @property
+    def aggregate_cycles_per_sec(self):
+        """Summed instantaneous cycles/sec over running points."""
+        return sum(
+            p.cycles_per_sec for p in self.points if p.status == "running"
+        )
+
+    @property
+    def eta_sec(self):
+        """Worst per-point ETA: the sweep finishes with its slowest point."""
+        etas = [
+            p.eta_sec
+            for p in self.points
+            if p.status == "running" and p.eta_sec is not None
+        ]
+        return max(etas) if etas else None
+
+    def stragglers(self, gap=STRAGGLER_GAP):
+        """Running points at least ``gap`` behind the running mean."""
+        running = [
+            p for p in self.points
+            if p.status == "running" and p.progress is not None
+        ]
+        if len(running) < 2:
+            return []
+        mean = sum(p.progress for p in running) / len(running)
+        return [p for p in running if mean - p.progress >= gap]
+
+
+def _point_from_records(index, label, rate, records, now, stale_after):
+    point = PointState(index, label or "", rate)
+    if not records:
+        return point
+    last = records[-1]
+    point.label = last.get("label") or point.label
+    if last.get("rate") is not None:
+        point.rate = last["rate"]
+    point.total_cycles = last.get("total_cycles") or point.total_cycles
+    point.cycle = last.get("cycle") or 0
+    point.last_update = last.get("t")
+    point.pid = last.get("pid")
+    if last.get("ev") == "finish":
+        point.status = last.get("status", "done")
+        point.cycles_per_sec = last.get("cycles_per_sec", 0.0)
+        point.wall_seconds = last.get("wall_seconds")
+        point.rss_kb = last.get("rss_kb", 0)
+        return point
+    point.status = "running"
+    if last.get("ev") == "heartbeat":
+        point.cycles_per_sec = last.get("cycles_per_sec", 0.0)
+        point.eta_sec = last.get("eta_sec")
+        point.rss_kb = last.get("rss_kb", 0)
+    if (
+        point.last_update is not None
+        and now - point.last_update > stale_after
+    ):
+        point.status = "stalled?"
+    return point
+
+
+def scan_telemetry_dir(directory, now=None, stale_after=STALE_AFTER):
+    """Build a :class:`WatchState` from one telemetry directory.
+
+    Points come from the sweep manifest when present (so queued points
+    that have no heartbeat file yet still show as ``pending``), plus
+    any extra ``*.hb.jsonl`` files found on disk.
+    """
+    if now is None:
+        now = time.time()
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"no telemetry directory: {directory}")
+    entries = []  # (index, file, label, rate)
+    seen = set()
+    manifest_path = os.path.join(directory, TELEMETRY_MANIFEST)
+    if os.path.exists(manifest_path):
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+            for p in manifest.get("points", ()):
+                entries.append(
+                    (p.get("index", len(entries)), p.get("file", ""),
+                     p.get("label", ""), p.get("rate"))
+                )
+                seen.add(p.get("file", ""))
+        except (json.JSONDecodeError, OSError):
+            pass  # fall back to the heartbeat files alone
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(HEARTBEAT_SUFFIX) and name not in seen:
+            entries.append((len(entries), name, "", None))
+    state = WatchState(directory)
+    for index, filename, label, rate in entries:
+        records = (
+            read_heartbeats(os.path.join(directory, filename))
+            if filename
+            else []
+        )
+        state.points.append(
+            _point_from_records(index, label, rate, records, now, stale_after)
+        )
+    return state
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def _bar(progress, width=20):
+    if progress is None:
+        return "?" * width
+    filled = int(round(progress * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_eta(seconds):
+    if seconds is None:
+        return "-"
+    seconds = int(round(max(0, seconds)))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+def _point_name(point):
+    parts = []
+    if point.label:
+        parts.append(point.label)
+    if point.rate is not None:
+        parts.append(f"r={point.rate:g}")
+    return " ".join(parts) or f"point{point.index}"
+
+
+def format_watch(state, bar_width=20):
+    """One dashboard frame as text."""
+    counts = state.counts
+    order = ("done", "running", "pending", "stalled?", "killed", "failed")
+    summary = ", ".join(
+        f"{counts[k]} {k}" for k in order if counts.get(k)
+    ) or "no points"
+    lines = [
+        f"watch {state.directory}: {len(state.points)} points ({summary})"
+    ]
+    name_w = max(
+        [len(_point_name(p)) for p in state.points] + [5]
+    )
+    for point in state.points:
+        pct = (
+            f"{100 * point.progress:3.0f}%"
+            if point.progress is not None
+            else "  ??"
+        )
+        if point.status == "running":
+            speed = f"{point.cycles_per_sec:9.0f} c/s"
+            tail = f"eta {_fmt_eta(point.eta_sec)}"
+        elif point.status == "done":
+            speed = f"{point.cycles_per_sec:9.0f} c/s"
+            tail = (
+                f"took {_fmt_eta(point.wall_seconds)}"
+                if point.wall_seconds is not None
+                else ""
+            )
+        else:
+            speed = f"{'-':>9}    "
+            tail = ""
+        lines.append(
+            f"  {_point_name(point):<{name_w}} [{_bar(point.progress, bar_width)}]"
+            f" {pct}  cycle {point.cycle:>8}  {speed}  {point.status:<8} {tail}".rstrip()
+        )
+    running = counts.get("running", 0)
+    if running:
+        lines.append(
+            f"aggregate: {state.aggregate_cycles_per_sec:.0f} cycles/sec"
+            f" across {running} running; sweep eta {_fmt_eta(state.eta_sec)}"
+        )
+    stragglers = state.stragglers()
+    if stragglers:
+        names = ", ".join(_point_name(p) for p in stragglers)
+        lines.append(f"stragglers: {names}")
+    if state.all_finished:
+        lines.append("sweep finished")
+    return "\n".join(lines) + "\n"
+
+
+def watch(directory, out, follow=True, interval=2.0, clock=time.time,
+          sleep=time.sleep, max_frames=None, stale_after=STALE_AFTER):
+    """Render the dashboard; with ``follow`` poll until the sweep ends.
+
+    Returns 0 when every point finished cleanly, 1 when any point
+    failed/was killed/looks stalled, 2 when the directory is missing.
+    In follow mode a TTY gets in-place redraws (ANSI home+clear);
+    non-TTY output just prints a frame per poll.
+    """
+    is_tty = getattr(out, "isatty", lambda: False)()
+    frames = 0
+    while True:
+        try:
+            state = scan_telemetry_dir(
+                directory, now=clock(), stale_after=stale_after
+            )
+        except FileNotFoundError as exc:
+            out.write(f"repro watch: {exc}\n")
+            return 2
+        frame = format_watch(state)
+        if is_tty and follow and frames:
+            out.write("\x1b[H\x1b[2J")
+        out.write(frame)
+        out.flush()
+        frames += 1
+        done = state.all_finished
+        if not follow or done or (max_frames and frames >= max_frames):
+            counts = state.counts
+            bad = (
+                counts.get("failed", 0) + counts.get("killed", 0)
+                + counts.get("stalled?", 0)
+            )
+            return 1 if bad else 0
+        sleep(interval)

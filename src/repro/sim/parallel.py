@@ -25,10 +25,16 @@ import copy
 import dataclasses
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.obs.telemetry import (
+    RunTelemetry,
+    init_telemetry_dir,
+    point_heartbeat_path,
+)
 from repro.sim.runner import run_simulation
 from repro.stats.summary import SimResult
 
@@ -48,6 +54,10 @@ class SweepPoint:
     #: When set, each worker arms a strict HangWatchdog with this
     #: window, so a deadlocked point raises instead of hanging.
     watchdog_window: Optional[int] = None
+    #: When set, the worker writes heartbeat records here
+    #: (obs.telemetry) so ``repro watch`` can render live progress.
+    telemetry_path: Optional[str] = None
+    heartbeat_every: int = 1000
 
 
 @dataclass
@@ -60,20 +70,48 @@ class PointError:
     attempts: int
 
 
+@dataclass
+class PointTiming:
+    """Host-side cost of one completed sweep point.
+
+    ``wall_time`` is the worker-measured seconds for the whole
+    ``run_simulation`` call; ``worker`` is the worker process id (the
+    parent's pid for inline runs). Points replayed from a pre-timing
+    journal carry ``None`` for both.
+    """
+
+    label: str
+    rate: float
+    wall_time: Optional[float] = None
+    worker: Optional[int] = None
+
+
+def _timing_rows(timings):
+    return [dataclasses.asdict(t) for t in timings]
+
+
 class SweepResults(list):
     """``[(rate, SimResult)]`` plus per-point failures in ``errors``.
 
     A plain list to existing callers; ``errors`` holds a
-    :class:`PointError` for each point that failed every attempt.
+    :class:`PointError` for each point that failed every attempt, and
+    ``timings`` a :class:`PointTiming` (wall time + worker id) for each
+    successful point, in result order.
     """
 
-    def __init__(self, items=(), errors=()):
+    def __init__(self, items=(), errors=(), timings=()):
         super().__init__(items)
         self.errors = list(errors)
+        self.timings = list(timings)
 
     @property
     def complete(self):
         return not self.errors
+
+    def total_wall_time(self):
+        """Summed per-point worker seconds (None entries excluded)."""
+        return sum(t.wall_time for t in self.timings
+                   if t.wall_time is not None)
 
     def to_dict(self):
         """JSON-serializable dict; inverse is :meth:`from_dict`."""
@@ -83,6 +121,7 @@ class SweepResults(list):
                 for rate, result in self
             ],
             "errors": [dataclasses.asdict(e) for e in self.errors],
+            "timings": _timing_rows(self.timings),
         }
 
     @classmethod
@@ -93,19 +132,30 @@ class SweepResults(list):
                 for item in data["results"]
             ),
             (PointError(**e) for e in data["errors"]),
+            (PointTiming(**t) for t in data.get("timings", [])),
         )
 
 
 class MatrixResults(dict):
-    """``{label: [(rate, SimResult)]}`` plus failures in ``errors``."""
+    """``{label: [(rate, SimResult)]}`` plus failures in ``errors``.
 
-    def __init__(self, items=(), errors=()):
+    ``timings`` holds one :class:`PointTiming` per successful point
+    across all labels, in completion order.
+    """
+
+    def __init__(self, items=(), errors=(), timings=()):
         super().__init__(items)
         self.errors = list(errors)
+        self.timings = list(timings)
 
     @property
     def complete(self):
         return not self.errors
+
+    def total_wall_time(self):
+        """Summed per-point worker seconds (None entries excluded)."""
+        return sum(t.wall_time for t in self.timings
+                   if t.wall_time is not None)
 
     def to_dict(self):
         """JSON-serializable dict; inverse is :meth:`from_dict`."""
@@ -118,6 +168,7 @@ class MatrixResults(dict):
                 for label, series in self.items()
             },
             "errors": [dataclasses.asdict(e) for e in self.errors],
+            "timings": _timing_rows(self.timings),
         }
 
     @classmethod
@@ -131,6 +182,7 @@ class MatrixResults(dict):
                 for label, series in data["series"].items()
             },
             (PointError(**e) for e in data["errors"]),
+            (PointTiming(**t) for t in data.get("timings", [])),
         )
 
 
@@ -178,11 +230,14 @@ class SweepJournal:
         with open(self.path, "w"):
             pass
 
-    def record(self, key, label, rate, result):
+    def record(self, key, label, rate, result, timing=None):
         entry = {
             "key": key, "label": label, "rate": rate,
             "result": result.to_dict(),
         }
+        if timing is not None:
+            entry["wall_time"] = timing.wall_time
+            entry["worker"] = timing.worker
         with open(self.path, "a") as fh:
             fh.write(json.dumps(entry, separators=(",", ":")))
             fh.write("\n")
@@ -214,11 +269,22 @@ def _run_point(point: SweepPoint):
         from repro.faults.watchdog import HangWatchdog
 
         watchdog = HangWatchdog(window=point.watchdog_window, mode="strict")
+    telemetry = None
+    if point.telemetry_path is not None:
+        telemetry = RunTelemetry(
+            path=point.telemetry_path, every=point.heartbeat_every,
+            label=point.label, rate=point.rate,
+        )
+    start = time.perf_counter()
     result = run_simulation(
         point.config, rate=point.rate, profiler=profiler, watchdog=watchdog,
-        **point.run_kwargs
+        telemetry=telemetry, **point.run_kwargs
     )
-    return point.label, point.rate, result
+    timing = PointTiming(
+        point.label, point.rate,
+        wall_time=time.perf_counter() - start, worker=os.getpid(),
+    )
+    return point.label, point.rate, result, timing
 
 
 def _describe(exc):
@@ -228,9 +294,10 @@ def _describe(exc):
 def _execute(points, workers, timeout, retries, on_result=None):
     """Run every point; returns (outcomes aligned with ``points``, errors).
 
-    ``outcomes[i]`` is ``(label, rate, SimResult)`` or ``None`` if point
-    ``i`` failed every attempt. ``on_result(i, point, outcome)`` fires
-    in the parent process after each success (the journal hook).
+    ``outcomes[i]`` is ``(label, rate, SimResult, PointTiming)`` or
+    ``None`` if point ``i`` failed every attempt.
+    ``on_result(i, point, outcome)`` fires in the parent process after
+    each success (the journal hook).
 
     ``workers=0`` runs inline (no timeout enforcement — there is no
     other process to bound). Pool mode submits one future per point;
@@ -320,6 +387,11 @@ def _execute_journaled(points, workers, timeout, retries, journal_dir,
                     points[i].label,
                     entry["rate"],
                     SimResult.from_dict(entry["result"]),
+                    PointTiming(
+                        points[i].label, entry["rate"],
+                        wall_time=entry.get("wall_time"),
+                        worker=entry.get("worker"),
+                    ),
                 )
     else:
         # A fresh (non-resume) sweep must not inherit a stale journal:
@@ -329,7 +401,8 @@ def _execute_journaled(points, workers, timeout, retries, journal_dir,
 
     def on_result(j, point, outcome):
         i = pending[j][0]
-        journal.record(keys[i], point.label, outcome[1], outcome[2])
+        journal.record(keys[i], point.label, outcome[1], outcome[2],
+                       timing=outcome[3])
 
     raw, errors = _execute(
         [point for _, point in pending], workers, timeout, retries,
@@ -343,11 +416,26 @@ def _execute_journaled(points, workers, timeout, retries, journal_dir,
     return outcomes, errors
 
 
+def _arm_telemetry(points, telemetry_dir, heartbeat_every):
+    """Assign per-point heartbeat paths and write the sweep manifest."""
+    if telemetry_dir is None:
+        return
+    init_telemetry_dir(
+        telemetry_dir,
+        [{"label": p.label, "rate": p.rate} for p in points],
+    )
+    for i, point in enumerate(points):
+        point.telemetry_path = point_heartbeat_path(telemetry_dir, i)
+        point.heartbeat_every = heartbeat_every
+
+
 def parallel_sweep(config, rates, workers: Optional[int] = None,
                    label: str = "", profile_epoch: Optional[int] = None,
                    timeout: Optional[float] = None, retries: int = 1,
                    journal_dir: Optional[str] = None, resume: bool = False,
                    watchdog_window: Optional[int] = None,
+                   telemetry_dir: Optional[str] = None,
+                   heartbeat_every: int = 1000,
                    **run_kwargs):
     """Run one simulation per rate across a process pool.
 
@@ -365,17 +453,24 @@ def parallel_sweep(config, rates, workers: Optional[int] = None,
     and ``resume=True`` skips points already journaled by a previous
     (killed) invocation of the same sweep. ``watchdog_window`` arms a
     strict HangWatchdog per point.
+
+    ``telemetry_dir`` makes the sweep observable while it runs: each
+    worker writes fsynced heartbeat records (cycle, cycles/sec, ETA,
+    RSS) into one file per point under the directory, which ``repro
+    watch telemetry_dir`` renders as a live dashboard.
     """
     points = [
         SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs), label,
                    profile_epoch, watchdog_window)
         for rate in rates
     ]
+    _arm_telemetry(points, telemetry_dir, heartbeat_every)
     outcomes, errors = _execute_journaled(
         points, workers, timeout, retries, journal_dir, resume
     )
+    live = [o for o in outcomes if o is not None]
     return SweepResults(
-        ((o[1], o[2]) for o in outcomes if o is not None), errors
+        ((o[1], o[2]) for o in live), errors, (o[3] for o in live)
     )
 
 
@@ -384,6 +479,8 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
                     timeout: Optional[float] = None, retries: int = 1,
                     journal_dir: Optional[str] = None, resume: bool = False,
                     watchdog_window: Optional[int] = None,
+                    telemetry_dir: Optional[str] = None,
+                    heartbeat_every: int = 1000,
                     **run_kwargs):
     """Sweep a {label: NetworkConfig} matrix of configurations.
 
@@ -391,8 +488,9 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
     whose ``errors`` records per-point failures; a failed point leaves
     a gap in its label's series rather than killing the sweep. All
     points across all configurations share one pool so the pool stays
-    saturated. ``journal_dir``/``resume``/``watchdog_window`` behave as
-    in :func:`parallel_sweep`.
+    saturated. ``journal_dir``/``resume``/``watchdog_window`` and
+    ``telemetry_dir``/``heartbeat_every`` behave as in
+    :func:`parallel_sweep`.
     """
     points = []
     for label, config in configs.items():
@@ -401,6 +499,7 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
                 SweepPoint(copy.deepcopy(config), rate, dict(run_kwargs),
                            label, profile_epoch, watchdog_window)
             )
+    _arm_telemetry(points, telemetry_dir, heartbeat_every)
     raw, errors = _execute_journaled(
         points, workers, timeout, retries, journal_dir, resume
     )
@@ -408,8 +507,9 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
     for outcome in raw:
         if outcome is None:
             continue
-        label, rate, result = outcome
+        label, rate, result, timing = outcome
         out[label].append((rate, result))
+        out.timings.append(timing)
     for series in out.values():
         series.sort(key=lambda pair: pair[0])
     return out

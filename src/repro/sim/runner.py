@@ -43,12 +43,36 @@ class SimulationRun:
     drain: int
     #: Optional MetricsRegistry to publish end-of-run metrics into.
     metrics: Optional[Any] = None
+    #: Optional RunTelemetry emitting heartbeats (obs.telemetry).
+    telemetry: Optional[Any] = None
     #: Resumable progress: the current phase and drain cycles executed.
     #: Restored from checkpoints; do not touch mid-run.
     phase: str = "init"
     drain_cycles_done: int = 0
 
     def execute(self, checkpointer=None, kill_at=None):
+        if self.telemetry is not None:
+            self.telemetry.begin(
+                total_cycles=self.warmup + self.measure + self.drain,
+                profiler=self.network.profiler,
+                start_cycle=self.network.cycle,
+            )
+        try:
+            result = self._execute(checkpointer, kill_at)
+        except BaseException as exc:
+            if self.telemetry is not None:
+                status = (
+                    "killed" if isinstance(exc, SimulationKilled) else "failed"
+                )
+                self.telemetry.finish(status, cycle=self.network.cycle)
+            raise
+        if self.telemetry is not None:
+            self.telemetry.finish(
+                "done", cycle=self.network.cycle, result=result
+            )
+        return result
+
+    def _execute(self, checkpointer=None, kill_at=None):
         net, inj = self.network, self.injector
         inj.trace = net.trace  # packet creation shows up in traces
         stats = net.stats
@@ -118,6 +142,8 @@ class SimulationRun:
         advanced), so a resumed run re-executes exactly the cycles the
         killed run lost.
         """
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(self.network.cycle, self.phase)
         if checkpointer is not None:
             checkpointer.maybe_save(self)
         if kill_at is not None and self.network.cycle >= kill_at:
@@ -165,6 +191,7 @@ def run_simulation(
     profiler=None,
     metrics=None,
     sampler=None,
+    telemetry=None,
     faults=None,
     transport=None,
     invariants=None,
@@ -186,9 +213,11 @@ def run_simulation(
     into, ``profiler`` a :class:`~repro.obs.profiler.PhaseProfiler` to
     attach (its summary lands in ``SimResult.timing``), ``metrics``
     a :class:`~repro.obs.metrics.MetricsRegistry` the finished run
-    publishes into, and ``sampler`` a
+    publishes into, ``sampler`` a
     :class:`~repro.obs.sampler.NetworkSampler` snapshotting network
-    state every N cycles.
+    state every N cycles, and ``telemetry`` a
+    :class:`~repro.obs.telemetry.RunTelemetry` emitting host-side
+    progress heartbeats (cycles/sec, ETA, RSS) while the run executes.
 
     Robustness (repro.faults; likewise optional and free when omitted):
     ``faults`` is a :class:`~repro.faults.plan.FaultPlan` or a
@@ -248,7 +277,8 @@ def run_simulation(
     traffic_rng = random.Random(config.seed + 0x5EED)
     pat = build_pattern(pattern, net.num_terminals, traffic_rng)
     injector = BernoulliInjector(net.num_terminals, pat, rate, dist, traffic_rng)
-    run = SimulationRun(net, injector, warmup, measure, drain, metrics=metrics)
+    run = SimulationRun(net, injector, warmup, measure, drain,
+                        metrics=metrics, telemetry=telemetry)
     if resume_from is not None:
         payload = (
             resume_from
@@ -271,6 +301,7 @@ def resume_simulation(
     profiler=None,
     metrics=None,
     sampler=None,
+    telemetry=None,
     invariants=None,
     watchdog=None,
     checkpoint_path=None,
@@ -300,6 +331,7 @@ def resume_simulation(
         profiler=profiler,
         metrics=metrics,
         sampler=sampler,
+        telemetry=telemetry,
         invariants=invariants,
         watchdog=watchdog,
         resume_from=payload,

@@ -3,7 +3,8 @@
 from repro.sim.runner import run_simulation
 
 
-def rate_sweep(config_factory, rates, metrics_factory=None, **run_kwargs):
+def rate_sweep(config_factory, rates, metrics_factory=None,
+               telemetry_dir=None, heartbeat_every=1000, **run_kwargs):
     """Run one simulation per injection rate.
 
     ``config_factory`` is a zero-argument callable returning a *fresh*
@@ -15,12 +16,36 @@ def rate_sweep(config_factory, rates, metrics_factory=None, **run_kwargs):
     publishes into; the sweep then returns (rate, SimResult, registry)
     triples instead. (Registries hold end-of-run snapshots, so each
     rate needs its own — sharing one would sum counters across rates.)
+
+    ``telemetry_dir`` writes one fsynced heartbeat file per rate into
+    the directory (obs.telemetry) so ``repro watch`` can follow even a
+    serial sweep live; ``heartbeat_every`` is the sampling period in
+    cycles.
     """
+    telemetry_paths = {}
+    if telemetry_dir is not None:
+        from repro.obs.telemetry import init_telemetry_dir, point_heartbeat_path
+
+        init_telemetry_dir(
+            telemetry_dir, [{"label": "", "rate": rate} for rate in rates]
+        )
+        telemetry_paths = {
+            i: point_heartbeat_path(telemetry_dir, i)
+            for i in range(len(rates))
+        }
     results = []
-    for rate in rates:
+    for i, rate in enumerate(rates):
         registry = metrics_factory() if metrics_factory is not None else None
+        telemetry = None
+        if i in telemetry_paths:
+            from repro.obs.telemetry import RunTelemetry
+
+            telemetry = RunTelemetry(
+                path=telemetry_paths[i], every=heartbeat_every, rate=rate
+            )
         result = run_simulation(
-            config_factory(), rate=rate, metrics=registry, **run_kwargs
+            config_factory(), rate=rate, metrics=registry,
+            telemetry=telemetry, **run_kwargs
         )
         if metrics_factory is not None:
             results.append((rate, result, registry))

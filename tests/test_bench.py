@@ -1,0 +1,218 @@
+"""Tests for the continuous benchmark suite and trend gate (repro.bench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro import bench
+
+TINY = [
+    bench.BenchCase("tiny-mesh4", "mesh", 4, "islip1", "any_input",
+                    0.2, warmup=50, measure=100),
+]
+
+
+def entry_with(cases, calibration=2e6):
+    """Synthetic history entry (no simulation)."""
+    return {
+        "schema": bench.SCHEMA,
+        "time": 1000.0,
+        "suite": "quick",
+        "calibration": calibration,
+        "host_info": {"host": "x"},
+        "cases": {
+            name: {"cycles_per_sec": raw, "normalized": norm,
+                   "cycles": 150, "wall_seconds": 0.1, "repeats": 2}
+            for name, (raw, norm) in cases.items()
+        },
+    }
+
+
+class TestSuite:
+    def test_default_suite_shapes(self):
+        quick = bench.default_suite(quick=True)
+        full = bench.default_suite()
+        assert len(quick) < len(full)
+        quick_names = {c.name for c in quick}
+        assert quick_names <= {c.name for c in full}
+        assert len({c.name for c in full}) == len(full)  # names unique
+
+    def test_scale_shrinks_phases_with_floor(self):
+        tiny = bench.default_suite(quick=True, scale=0.01)[0]
+        assert (tiny.warmup, tiny.measure) == (50, 100)
+        big = bench.default_suite(quick=True, scale=2.0)[0]
+        assert big.measure == 1600
+
+    def test_case_config_builds(self):
+        for case in bench.default_suite():
+            config = case.config()
+            assert config.topology == case.topology
+            assert config.allocator == case.allocator
+
+    def test_run_case_measures(self):
+        measured = bench.run_case(TINY[0], repeats=2)
+        assert measured["cycles"] == 150
+        assert measured["cycles_per_sec"] > 0
+        assert measured["wall_seconds"] > 0
+        assert measured["repeats"] == 2
+
+    def test_run_suite_entry(self):
+        seen = []
+        entry = bench.run_suite(suite=TINY, repeats=1,
+                                calibration_repeats=1,
+                                progress=seen.append)
+        assert seen == ["tiny-mesh4"]
+        assert entry["schema"] == bench.SCHEMA
+        assert entry["calibration"] > 0
+        case = entry["cases"]["tiny-mesh4"]
+        assert case["normalized"] == pytest.approx(
+            case["cycles_per_sec"] / (entry["calibration"] / 1e6)
+        )
+
+
+class TestHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        first = entry_with({"a": (1000.0, 0.5)})
+        second = entry_with({"a": (1100.0, 0.55)})
+        bench.append_history(path, first)
+        history = bench.append_history(path, second)
+        assert len(history["entries"]) == 2
+        assert bench.load_history(path) == history
+
+    def test_missing_history_is_empty(self, tmp_path):
+        history = bench.load_history(str(tmp_path / "nope.json"))
+        assert history["entries"] == []
+
+    def test_bare_entry_file_is_single_entry_history(self, tmp_path):
+        # A checked-in baseline is one entry, not a {"entries": ...} file.
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(entry_with({"a": (1000.0, 0.5)})))
+        history = bench.load_history(str(path))
+        assert len(history["entries"]) == 1
+        assert history["entries"][0]["cases"]["a"]["normalized"] == 0.5
+
+    def test_reference_is_per_case_median(self):
+        history = {"entries": [
+            entry_with({"a": (0, 0.50), "b": (0, 1.0)}),
+            entry_with({"a": (0, 0.52)}),
+            entry_with({"a": (0, 9.99)}),  # outlier absorbed by median
+        ]}
+        reference = bench.reference_cases(history)
+        assert reference == {"a": 0.52, "b": 1.0}
+
+
+class TestGate:
+    REFERENCE = {"a": 1.0, "b": 2.0}
+
+    def test_ok_within_threshold(self):
+        entry = entry_with({"a": (0, 0.90), "b": (0, 2.1)})
+        comparison = bench.compare_entries(entry, self.REFERENCE,
+                                           threshold=15.0)
+        assert comparison.ok
+        assert [r.case for r in comparison.rows] == ["a", "b"]
+        assert comparison.rows[0].delta_pct == pytest.approx(-10.0)
+
+    def test_regression_past_threshold(self):
+        entry = entry_with({"a": (0, 0.80), "b": (0, 2.0)})
+        comparison = bench.compare_entries(entry, self.REFERENCE,
+                                           threshold=15.0)
+        assert not comparison.ok
+        assert [r.case for r in comparison.regressions] == ["a"]
+        report = bench.format_comparison(comparison)
+        assert "REGRESSION" in report
+        assert "1 regression(s)" in report
+
+    def test_improvement_never_trips(self):
+        entry = entry_with({"a": (0, 5.0), "b": (0, 9.0)})
+        assert bench.compare_entries(entry, self.REFERENCE).ok
+
+    def test_unmatched_cases_skipped(self):
+        entry = entry_with({"a": (0, 1.0), "new": (0, 0.001)})
+        comparison = bench.compare_entries(entry, self.REFERENCE)
+        assert comparison.ok
+        assert sorted(comparison.unmatched) == ["b", "new"]
+
+    def test_to_dict_round_trips_through_json(self):
+        entry = entry_with({"a": (0, 0.5)})
+        data = json.loads(json.dumps(
+            bench.compare_entries(entry, self.REFERENCE).to_dict()
+        ))
+        assert data["ok"] is False
+        assert data["rows"][0]["regression"] is True
+
+    def test_zero_reference_is_not_a_regression(self):
+        entry = entry_with({"a": (0, 0.0)})
+        assert bench.compare_entries(entry, {"a": 0.0}).ok
+
+
+class TestCLI:
+    def run_cli(self, *argv):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def bench_args(self, tmp_path, *extra):
+        return ("bench", "--quick", "--scale", "0.05", "--repeats", "1",
+                "--history", str(tmp_path / "BENCH_t.json")) + extra
+
+    def test_bench_appends_history(self, tmp_path, capsys):
+        code, text = self.run_cli(*self.bench_args(tmp_path))
+        assert code == 0
+        assert "bench suite 'quick'" in text
+        history = bench.load_history(str(tmp_path / "BENCH_t.json"))
+        assert len(history["entries"]) == 1
+        assert "mesh4-islip1-chain" in history["entries"][0]["cases"]
+
+    def test_bench_compare_against_self_history(self, tmp_path):
+        code, _ = self.run_cli(*self.bench_args(tmp_path))
+        assert code == 0
+        # Generous threshold: this asserts gate mechanics, not host noise.
+        code, text = self.run_cli(
+            *self.bench_args(tmp_path, "--compare", "--threshold", "95")
+        )
+        assert code == 0
+        assert "trend gate" in text
+        assert "gate: OK" in text
+
+    def test_bench_compare_regression_exits_nonzero(self, tmp_path):
+        code, _ = self.run_cli(*self.bench_args(tmp_path))
+        assert code == 0
+        # Inflate the recorded history so the fresh run looks like a
+        # >15% regression against it.
+        path = str(tmp_path / "BENCH_t.json")
+        history = bench.load_history(path)
+        inflated = copy.deepcopy(history["entries"][0])
+        for case in inflated["cases"].values():
+            case["normalized"] *= 100.0
+            case["cycles_per_sec"] *= 100.0
+        with open(path, "w") as fh:
+            json.dump({"schema": bench.SCHEMA, "entries": [inflated]}, fh)
+        code, text = self.run_cli(
+            *self.bench_args(tmp_path, "--compare", "--no-append")
+        )
+        assert code == 1
+        assert "REGRESSION" in text
+
+    def test_bench_compare_missing_reference_exits_two(self, tmp_path):
+        code, text = self.run_cli(
+            *self.bench_args(tmp_path, "--no-append", "--compare",
+                             str(tmp_path / "nope.json"))
+        )
+        assert code == 2
+        assert "no reference entries" in text
+
+    def test_bench_json_output(self, tmp_path):
+        code, text = self.run_cli(
+            *self.bench_args(tmp_path, "--json", "--no-append")
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert "entry" in payload
+        assert payload["entry"]["suite"] == "quick"
+        assert not (tmp_path / "BENCH_t.json").exists()

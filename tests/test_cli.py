@@ -160,3 +160,90 @@ class TestFaultCLI:
         payload = json.loads(text)
         assert payload["faults"]["injection"]["failed_links"] == 1
         assert payload["plan"]["links"][0]["router"] == 5
+
+
+class TestTelemetryCLI:
+    def test_run_progress_keeps_json_stdout_clean(self, capsys):
+        import json as json_mod
+        import sys
+
+        from repro.cli import main
+
+        code = main([
+            "run", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "1500", "--drain", "0",
+            "--progress", "--json",
+        ], out=sys.stdout)
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json_mod.loads(captured.out)  # stdout stays machine-readable
+        assert payload["cycles_run"] > 0
+        assert "cycles/sec" in captured.err  # progress went to stderr
+
+    def test_run_heartbeat_file(self, tmp_path):
+        from repro.obs.telemetry import read_heartbeats
+
+        hb = tmp_path / "run.hb.jsonl"
+        code, _ = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.1",
+            "--warmup", "100", "--measure", "400", "--drain", "0",
+            "--heartbeat", str(hb), "--heartbeat-every", "100",
+        )
+        assert code == 0
+        records = read_heartbeats(str(hb))
+        assert records[0]["ev"] == "start"
+        assert records[-1]["ev"] == "finish"
+        assert any(r["ev"] == "heartbeat" for r in records)
+
+    def test_sweep_telemetry_then_watch(self, tmp_path):
+        import json as json_mod
+
+        directory = str(tmp_path / "tel")
+        code, _ = run_cli(
+            "sweep", "--mesh-k", "4", "--rates", "0.05", "0.1",
+            "--warmup", "100", "--measure", "300",
+            "--telemetry", directory, "--heartbeat-every", "100",
+        )
+        assert code == 0
+        code, text = run_cli("watch", directory, "--once")
+        assert code == 0
+        assert "2 points (2 done)" in text
+        assert "sweep finished" in text
+        code, text = run_cli("watch", directory, "--json")
+        assert code == 0
+        state = json_mod.loads(text)
+        assert state["all_finished"] is True
+        assert [p["status"] for p in state["points"]] == ["done", "done"]
+        assert all(p["wall_seconds"] > 0 for p in state["points"])
+
+    def test_watch_missing_directory(self, tmp_path):
+        code, text = run_cli("watch", str(tmp_path / "nope"), "--once")
+        assert code == 2
+        assert "no telemetry directory" in text
+
+    def test_report_on_profile_with_collapsed_export(self, tmp_path):
+        profile = tmp_path / "prof.json"
+        stacks = tmp_path / "stacks.txt"
+        code, _ = run_cli(
+            "run", "--mesh-k", "4", "--rate", "0.2",
+            "--warmup", "100", "--measure", "400", "--drain", "0",
+            "--profile", str(profile),
+        )
+        assert code == 0
+        code, text = run_cli(
+            "report", str(profile), "--collapsed", str(stacks)
+        )
+        assert code == 0
+        assert "wall-clock hot spots" in text
+        lines = stacks.read_text().splitlines()
+        assert lines
+        assert all(line.startswith("sim;") for line in lines)
+
+    def test_report_collapsed_requires_profile(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('["ev", 0, {}]\n')
+        code, text = run_cli(
+            "report", str(trace), "--collapsed", str(tmp_path / "s.txt")
+        )
+        assert code == 2
+        assert "--collapsed needs a profile JSON" in text

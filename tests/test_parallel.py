@@ -9,6 +9,7 @@ from repro.sim import parallel as parallel_mod
 from repro.sim.parallel import (
     MatrixResults,
     PointError,
+    PointTiming,
     SweepResults,
     parallel_matrix,
     parallel_sweep,
@@ -166,3 +167,119 @@ class TestResultsRoundTrip:
         assert back.errors[0].label == "bad"
         assert [res.to_dict() for _, res in back["good"]] == \
             [res.to_dict() for _, res in out["good"]]
+
+
+class TestPointTimings:
+    def test_inline_sweep_records_timings(self):
+        import os
+
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05, 0.1],
+                                 workers=0, label="m4", **RUN)
+        assert len(results.timings) == 2
+        for timing, rate in zip(results.timings, [0.05, 0.1]):
+            assert isinstance(timing, PointTiming)
+            assert (timing.label, timing.rate) == ("m4", rate)
+            assert timing.wall_time > 0
+            assert timing.worker == os.getpid()  # inline: parent process
+        assert results.total_wall_time() == pytest.approx(
+            sum(t.wall_time for t in results.timings)
+        )
+
+    def test_pool_sweep_records_worker_pids(self):
+        import os
+
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05, 0.1],
+                                 workers=2, **RUN)
+        assert len(results.timings) == 2
+        assert all(t.wall_time > 0 for t in results.timings)
+        assert all(t.worker != os.getpid() for t in results.timings)
+
+    def test_matrix_records_timings(self):
+        out = parallel_matrix(
+            {"a": mesh_config(mesh_k=4), "b": mesh_config(mesh_k=4)},
+            rates=[0.05], workers=0, **RUN
+        )
+        assert sorted(t.label for t in out.timings) == ["a", "b"]
+        assert out.total_wall_time() > 0
+
+    def test_timings_survive_round_trip(self):
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, label="m4", **RUN)
+        back = SweepResults.from_dict(
+            json.loads(json.dumps(results.to_dict()))
+        )
+        assert len(back.timings) == 1
+        timing = back.timings[0]
+        assert (timing.label, timing.rate) == ("m4", 0.05)
+        assert timing.wall_time == results.timings[0].wall_time
+        assert timing.worker == results.timings[0].worker
+
+    def test_legacy_dict_without_timings_loads(self):
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, **RUN)
+        data = results.to_dict()
+        del data["timings"]
+        back = SweepResults.from_dict(data)
+        assert back.complete
+        assert back.timings == []
+
+    def test_journal_resume_restores_timings(self, tmp_path):
+        from repro.sim.parallel import SweepJournal
+
+        sweep_dir = str(tmp_path / "sweep")
+        full = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05, 0.1],
+                              workers=0, journal_dir=sweep_dir, **RUN)
+        resumed = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05, 0.1],
+                                 workers=0, journal_dir=sweep_dir,
+                                 resume=True, **RUN)
+        assert len(resumed.timings) == 2
+        for fresh, replayed in zip(full.timings, resumed.timings):
+            assert replayed.wall_time == pytest.approx(fresh.wall_time)
+            assert replayed.worker == fresh.worker
+        journal = SweepJournal(sweep_dir)
+        entry = next(iter(journal.completed().values()))
+        assert entry["wall_time"] > 0
+        assert entry["worker"] == full.timings[0].worker
+
+
+class TestSweepTelemetry:
+    def test_sweep_writes_heartbeats_per_point(self, tmp_path):
+        from repro.obs.telemetry import point_heartbeat_path, read_heartbeats
+
+        directory = str(tmp_path / "tel")
+        results = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05, 0.1], workers=0,
+            label="m4", telemetry_dir=directory, heartbeat_every=100, **RUN
+        )
+        assert results.complete
+        for i, rate in enumerate([0.05, 0.1]):
+            records = read_heartbeats(point_heartbeat_path(directory, i))
+            assert records[0]["ev"] == "start"
+            assert records[0]["rate"] == rate
+            assert records[0]["label"] == "m4"
+            assert records[-1]["ev"] == "finish"
+            assert records[-1]["status"] == "done"
+
+    def test_sweep_telemetry_renders_in_watch(self, tmp_path):
+        import io
+
+        from repro.obs.watch import watch
+
+        directory = str(tmp_path / "tel")
+        parallel_sweep(mesh_config(mesh_k=4), rates=[0.05], workers=0,
+                       telemetry_dir=directory, heartbeat_every=100, **RUN)
+        out = io.StringIO()
+        assert watch(directory, out, follow=False) == 0
+        assert "sweep finished" in out.getvalue()
+
+    def test_pool_sweep_telemetry(self, tmp_path):
+        from repro.obs.telemetry import point_heartbeat_path, read_heartbeats
+
+        directory = str(tmp_path / "tel")
+        parallel_sweep(mesh_config(mesh_k=4), rates=[0.05, 0.1], workers=2,
+                       telemetry_dir=directory, heartbeat_every=100, **RUN)
+        finishes = [
+            read_heartbeats(point_heartbeat_path(directory, i))[-1]
+            for i in range(2)
+        ]
+        assert all(f["ev"] == "finish" for f in finishes)

@@ -1,0 +1,232 @@
+"""Tests for the live sweep dashboard (obs.watch)."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs.telemetry import (
+    RunTelemetry,
+    init_telemetry_dir,
+    point_heartbeat_path,
+)
+from repro.obs.watch import (
+    PointState,
+    WatchState,
+    format_watch,
+    scan_telemetry_dir,
+    watch,
+)
+
+
+def write_records(path, records):
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def make_dir(tmp_path, labels):
+    directory = str(tmp_path / "tel")
+    init_telemetry_dir(
+        directory,
+        [{"label": l, "rate": 0.1 * (i + 1)} for i, l in enumerate(labels)],
+    )
+    return directory
+
+
+START = {"ev": "start", "t": 100.0, "cycle": 0, "total_cycles": 1000,
+         "label": "", "rate": None, "pid": 42}
+
+
+def beat(cycle, t=101.0, **extra):
+    record = {"ev": "heartbeat", "t": t, "cycle": cycle,
+              "total_cycles": 1000, "phase": "measure",
+              "cycles_per_sec": 500.0, "avg_cycles_per_sec": 450.0,
+              "progress": cycle / 1000, "eta_sec": (1000 - cycle) / 450.0,
+              "rss_kb": 20000, "pid": 42}
+    record.update(extra)
+    return record
+
+
+def finish(cycle=1000, status="done", t=103.0):
+    return {"ev": "finish", "t": t, "status": status, "cycle": cycle,
+            "total_cycles": 1000, "wall_seconds": 2.2,
+            "cycles_per_sec": 454.0, "rss_kb": 21000}
+
+
+class TestScan:
+    def test_pending_running_done(self, tmp_path):
+        directory = make_dir(tmp_path, ["a", "b", "c"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, beat(400)])
+        write_records(point_heartbeat_path(directory, 1),
+                      [START, beat(990), finish()])
+        state = scan_telemetry_dir(directory, now=105.0)
+        assert [p.status for p in state.points] == \
+            ["running", "done", "pending"]
+        running, done, pending = state.points
+        assert running.cycle == 400
+        assert running.progress == pytest.approx(0.4)
+        assert running.cycles_per_sec == 500.0
+        assert running.eta_sec == pytest.approx(600 / 450.0)
+        assert done.progress == 1.0
+        assert done.wall_seconds == 2.2
+        assert pending.progress is None
+        assert pending.label == "c"
+        assert not state.all_finished
+
+    def test_stalled_detection(self, tmp_path):
+        directory = make_dir(tmp_path, ["a"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, beat(300, t=100.5)])
+        fresh = scan_telemetry_dir(directory, now=105.0, stale_after=30.0)
+        assert fresh.points[0].status == "running"
+        stale = scan_telemetry_dir(directory, now=200.0, stale_after=30.0)
+        assert stale.points[0].status == "stalled?"
+
+    def test_failed_and_killed_statuses(self, tmp_path):
+        directory = make_dir(tmp_path, ["a", "b"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, finish(cycle=500, status="killed")])
+        write_records(point_heartbeat_path(directory, 1),
+                      [START, finish(cycle=100, status="failed")])
+        state = scan_telemetry_dir(directory, now=105.0)
+        assert [p.status for p in state.points] == ["killed", "failed"]
+        assert state.all_finished
+        assert state.counts == {"killed": 1, "failed": 1}
+
+    def test_extra_heartbeat_file_without_manifest(self, tmp_path):
+        directory = str(tmp_path / "tel")
+        os.makedirs(directory)
+        write_records(os.path.join(directory, "run.hb.jsonl"),
+                      [START, beat(250, label="solo", rate=0.3)])
+        state = scan_telemetry_dir(directory, now=105.0)
+        assert len(state.points) == 1
+        assert state.points[0].label == "solo"
+        assert state.points[0].rate == 0.3
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            scan_telemetry_dir(str(tmp_path / "nope"))
+
+    def test_torn_manifest_falls_back_to_files(self, tmp_path):
+        directory = str(tmp_path / "tel")
+        os.makedirs(directory)
+        with open(os.path.join(directory, "sweep.json"), "w") as fh:
+            fh.write('{"points": [')
+        write_records(os.path.join(directory, "x.hb.jsonl"),
+                      [START, beat(100)])
+        state = scan_telemetry_dir(directory, now=105.0)
+        assert len(state.points) == 1
+
+
+class TestAggregates:
+    def two_running(self):
+        return WatchState("d", [
+            PointState(0, "a", 0.1, "running", cycle=900, total_cycles=1000,
+                       cycles_per_sec=300.0, eta_sec=2.0),
+            PointState(1, "b", 0.2, "running", cycle=100, total_cycles=1000,
+                       cycles_per_sec=200.0, eta_sec=30.0),
+        ])
+
+    def test_aggregate_and_eta(self):
+        state = self.two_running()
+        assert state.aggregate_cycles_per_sec == 500.0
+        assert state.eta_sec == 30.0  # slowest point bounds the sweep
+
+    def test_stragglers(self):
+        state = self.two_running()
+        assert [p.label for p in state.stragglers()] == ["b"]
+        assert state.stragglers(gap=0.9) == []
+
+    def test_single_running_point_is_never_a_straggler(self):
+        state = WatchState("d", [
+            PointState(0, "a", 0.1, "running", cycle=10, total_cycles=1000),
+        ])
+        assert state.stragglers() == []
+
+
+class TestRender:
+    def test_format_watch_frame(self, tmp_path):
+        directory = make_dir(tmp_path, ["a", "b"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, beat(400)])
+        write_records(point_heartbeat_path(directory, 1),
+                      [START, beat(990), finish()])
+        frame = format_watch(scan_telemetry_dir(directory, now=105.0))
+        assert "2 points (1 done, 1 running)" in frame
+        assert "[########------------]" in frame  # 40% bar
+        assert "eta" in frame and "took" in frame
+        assert "aggregate: 500 cycles/sec across 1 running" in frame
+
+    def test_finished_banner(self, tmp_path):
+        directory = make_dir(tmp_path, ["a"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, beat(990), finish()])
+        frame = format_watch(scan_telemetry_dir(directory, now=105.0))
+        assert "sweep finished" in frame
+
+    def test_pending_points_render_unknown_progress(self, tmp_path):
+        directory = make_dir(tmp_path, ["a"])
+        frame = format_watch(scan_telemetry_dir(directory, now=105.0))
+        assert "????" in frame
+        assert "pending" in frame
+
+
+class TestWatchLoop:
+    def test_once_mode_returns_zero_when_clean(self, tmp_path):
+        directory = make_dir(tmp_path, ["a"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, beat(990), finish()])
+        out = io.StringIO()
+        assert watch(directory, out, follow=False) == 0
+        assert "sweep finished" in out.getvalue()
+
+    def test_once_mode_flags_failures(self, tmp_path):
+        directory = make_dir(tmp_path, ["a"])
+        write_records(point_heartbeat_path(directory, 0),
+                      [START, finish(cycle=10, status="failed")])
+        assert watch(directory, io.StringIO(), follow=False) == 1
+
+    def test_missing_directory_returns_two(self, tmp_path):
+        assert watch(str(tmp_path / "nope"), io.StringIO(),
+                     follow=False) == 2
+
+    def test_follow_polls_until_finished(self, tmp_path):
+        directory = make_dir(tmp_path, ["a"])
+        path = point_heartbeat_path(directory, 0)
+        write_records(path, [START, beat(400)])
+        frames = []
+
+        def sleep(_):
+            # Between polls the point finishes: follow mode must notice.
+            frames.append(1)
+            write_records(path, [START, beat(990), finish()])
+
+        out = io.StringIO()
+        code = watch(directory, out, follow=True, interval=0.01,
+                     clock=lambda: 105.0, sleep=sleep)
+        assert code == 0
+        assert frames  # at least one poll happened before the finish
+        assert "sweep finished" in out.getvalue()
+
+    def test_live_inflight_rendering(self, tmp_path):
+        """An in-flight (unfinished) telemetry dir renders live state."""
+        directory = str(tmp_path / "tel")
+        init_telemetry_dir(directory, [{"label": "p", "rate": 0.1}])
+        tele = RunTelemetry(path=point_heartbeat_path(directory, 0),
+                            every=10, label="p", rate=0.1)
+        tele.begin(total_cycles=100)
+        for cycle in range(1, 51):
+            tele.on_cycle(cycle, "measure")
+        # No finish(): the run is still going. The dashboard must show a
+        # running point at ~50%, not an error or a finished sweep.
+        out = io.StringIO()
+        code = watch(directory, out, follow=True, max_frames=1)
+        frame = out.getvalue()
+        assert code == 0
+        assert "running" in frame
+        assert " 50%" in frame
+        assert "sweep finished" not in frame
+        tele.finish("done", cycle=50)
