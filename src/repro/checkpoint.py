@@ -240,9 +240,17 @@ def lengths_from_spec(spec):
 
 
 def config_hash(config, run_spec):
-    """sha256 over the canonical JSON of (NetworkConfig, run spec)."""
+    """sha256 over the canonical JSON of (NetworkConfig, run spec).
+
+    The simulation ``backend`` is excluded: the fast core is
+    bit-identical to the reference core, so a checkpoint taken under
+    one backend must restore under the other (the equivalence gate in
+    tests/test_fastcore_equivalence.py proves the round-trip).
+    """
+    config_dict = config.to_dict()
+    config_dict.pop("backend", None)
     blob = json.dumps(
-        {"config": config.to_dict(), "run": run_spec},
+        {"config": config_dict, "run": run_spec},
         sort_keys=True, separators=(",", ":"),
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

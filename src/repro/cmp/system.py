@@ -23,7 +23,7 @@ from repro.cmp.core_model import Core
 from repro.cmp.workloads import WORKLOADS
 from repro.network.config import mesh_config
 from repro.network.flit import Packet
-from repro.network.network import Network
+from repro.network.network import build_network
 from repro.stats import StatsCollector
 
 
@@ -85,7 +85,7 @@ class CMPSystem:
             raise ValueError("the CMP study runs on a mesh with one core per router")
         net_config.seed = seed
         self.stats = _DeliveryStats(self.cmp.num_cores, self)
-        self.network = Network(net_config, stats=self.stats)
+        self.network = build_network(net_config, stats=self.stats)
 
         self.rng = random.Random(seed * 7919 + 13)
         # One memory controller at each quadrant center (Section 3).

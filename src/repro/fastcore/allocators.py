@@ -1,0 +1,135 @@
+"""Fast-path separable allocation, bit-identical to the reference.
+
+The reference :class:`~repro.allocators.separable.SeparableInputFirstAllocator`
+pays per-call ``defaultdict`` construction, list comprehensions, and a
+generic iteration loop even for the dominant single-iteration (iSLIP-1)
+case. This subclass inlines that case:
+
+- round-robin selection uses the closed form
+  ``min(top, key=lambda idx: (idx - pointer) % size)``, which is exactly
+  the reference arbiter's scan-from-pointer semantics;
+- a single-request input/output skips arbitration entirely (the
+  reference arbiter returns the lone request regardless of its pointer);
+- pointer updates write the ``pointer`` attribute directly with the
+  iSLIP rule ``(granted + 1) % size``.
+
+Grant dicts are built in the same insertion order as the reference
+(inputs in request-matrix order through the input stage, outputs in
+first-survivor order through the output stage), which matters: the
+router iterates grant dicts when committing, so ordering differences
+would reorder trace events. Multi-iteration allocators (iSLIP-2 etc.)
+delegate to the reference implementation unchanged. State layout is
+inherited, so checkpoints round-trip between the two classes.
+"""
+
+from repro.allocators.separable import SeparableInputFirstAllocator
+
+
+class FastSeparableInputFirstAllocator(SeparableInputFirstAllocator):
+    """Single-iteration fast path over the reference iSLIP allocator."""
+
+    def allocate(self, requests):
+        if self.iterations != 1:
+            return super().allocate(requests)
+        # The router only ever submits in-range ports, so the reference
+        # _validate() scan is skipped here (it raises on malformed input
+        # but never alters behavior for valid matrices).
+        if len(requests) == 1:
+            ((i, o),) = requests
+            self._output_arbiters[o].pointer = (i + 1) % self.num_inputs
+            self._input_arbiters[i].pointer = (o + 1) % self.num_outputs
+            return {i: o}
+        seen_in = set()
+        seen_out = set()
+        for i, o in requests:
+            if i in seen_in or o in seen_out:
+                break
+            seen_in.add(i)
+            seen_out.add(o)
+        else:
+            # Conflict-free matrix: every input has one choice and every
+            # output one survivor, so input-first allocation grants all
+            # requests. Grant insertion and pointer updates follow the
+            # matrix order, exactly as the generic path's survivor loop
+            # would (survivors are keyed in by_input insertion order).
+            input_arbiters = self._input_arbiters
+            output_arbiters = self._output_arbiters
+            num_inputs = self.num_inputs
+            num_outputs = self.num_outputs
+            grants = {}
+            for i, o in requests:
+                grants[i] = o
+                output_arbiters[o].pointer = (i + 1) % num_inputs
+                input_arbiters[i].pointer = (o + 1) % num_outputs
+            return grants
+        by_input = {}
+        for (i, o), prio in requests.items():
+            outputs = by_input.get(i)
+            if outputs is None:
+                by_input[i] = {o: prio}
+            else:
+                existing = outputs.get(o)
+                if existing is None or prio > existing:
+                    outputs[o] = prio
+
+        input_arbiters = self._input_arbiters
+        num_outputs = self.num_outputs
+        survivors = {}
+        for i, outputs in by_input.items():
+            if len(outputs) == 1:
+                for choice, best in outputs.items():
+                    break
+            else:
+                best = max(outputs.values())
+                pointer = input_arbiters[i].pointer
+                # Manual round-robin scan (no generator/lambda frames):
+                # smallest (o - pointer) % num_outputs among the best.
+                best_dist = num_outputs
+                for o, p in outputs.items():
+                    if p == best:
+                        dist = (o - pointer) % num_outputs
+                        if dist < best_dist:
+                            best_dist = dist
+                            choice = o
+            entry = survivors.get(choice)
+            if entry is None:
+                survivors[choice] = {i: best}
+            else:
+                entry[i] = best
+
+        output_arbiters = self._output_arbiters
+        num_inputs = self.num_inputs
+        grants = {}
+        for o, inputs in survivors.items():
+            if len(inputs) == 1:
+                for winner in inputs:
+                    break
+            else:
+                best = max(inputs.values())
+                pointer = output_arbiters[o].pointer
+                best_dist = num_inputs
+                for i, p in inputs.items():
+                    if p == best:
+                        dist = (i - pointer) % num_inputs
+                        if dist < best_dist:
+                            best_dist = dist
+                            winner = i
+            grants[winner] = o
+            # iSLIP first-iteration pointer update for both arbiters.
+            output_arbiters[o].pointer = (winner + 1) % num_inputs
+            input_arbiters[winner].pointer = (o + 1) % num_outputs
+        return grants
+
+
+def upgrade_allocator(allocator):
+    """Swap a reference allocator instance onto its fast-path class.
+
+    Only exact ``SeparableInputFirstAllocator`` instances are upgraded
+    (in place, preserving arbiter state and any construction-seeded
+    RNGs); every other allocator kind — wavefront, augmenting-path,
+    output-first — runs its reference implementation, which keeps the
+    equivalence argument local to the one class reimplemented above.
+    """
+    if type(allocator) is SeparableInputFirstAllocator:
+        allocator.__class__ = FastSeparableInputFirstAllocator
+    return allocator

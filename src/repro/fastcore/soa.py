@@ -1,0 +1,96 @@
+"""Structure-of-arrays export of router state.
+
+The fast core keeps its *hot* per-router state in packed Python ints
+(see :mod:`repro.fastcore.router`): at NoC sizes (radix ~5, 4 VCs),
+scalar element access into NumPy arrays costs more than int/bitmask
+operations, so the per-cycle loops stay on packed ints and NumPy is
+used where arrays genuinely win — whole-network analysis snapshots.
+
+:func:`state_arrays` flattens every router's credits, VC occupancy,
+connection tables, and chain ages into dense ``[router, port, ...]``
+arrays (ragged radices are padded with ``-1``). With NumPy installed
+the result is a dict of ``int64`` ndarrays ready for slicing /
+aggregation (the live dashboard and hot-spot attribution tools consume
+these); without it, the same data comes back as plain nested lists —
+the fast core itself never requires NumPy.
+"""
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    numpy = None
+
+#: Fill value for ports beyond a router's radix (ragged topologies).
+PAD = -1
+
+
+def state_arrays(network):
+    """Dense SoA snapshot: credits, occupancy, connections, ages.
+
+    Returns a dict with keys ``credits`` and ``occupancy`` (shape
+    ``[R, Pmax, V]``), ``conn_in``, ``conn_age``, ``port_flits`` (shape
+    ``[R, Pmax]``), and ``conn_out`` (shape ``[R, Pmax, 2]`` holding
+    ``(input, vc)`` or ``(-1, -1)``). Entries beyond a router's radix
+    are ``-1``. Values are NumPy ``int64`` arrays when NumPy is
+    available, nested lists otherwise.
+    """
+    routers = network.routers
+    num_routers = len(routers)
+    max_radix = max(r.radix for r in routers)
+    num_vcs = network.config.num_vcs
+
+    credits = _full((num_routers, max_radix, num_vcs))
+    occupancy = _full((num_routers, max_radix, num_vcs))
+    conn_in = _full((num_routers, max_radix))
+    conn_age = _full((num_routers, max_radix))
+    port_flits = _full((num_routers, max_radix))
+    conn_out = _full((num_routers, max_radix, 2))
+
+    for r, router in enumerate(routers):
+        for p in range(router.radix):
+            rc = router.credits[p]
+            vcs = router.in_vcs[p]
+            for v in range(num_vcs):
+                _set3(credits, r, p, v, rc[v])
+                _set3(occupancy, r, p, v, len(vcs[v].queue))
+            ci = router.conn_in[p]
+            _set2(conn_in, r, p, ci if ci is not None else PAD)
+            _set2(conn_age, r, p, router.conn_age[p])
+            _set2(port_flits, r, p, router.port_flits[p])
+            held = router.conn_out[p]
+            if held is None:
+                _set3(conn_out, r, p, 0, PAD)
+                _set3(conn_out, r, p, 1, PAD)
+            else:
+                _set3(conn_out, r, p, 0, held[0])
+                _set3(conn_out, r, p, 1, held[1])
+    return {
+        "credits": credits,
+        "occupancy": occupancy,
+        "conn_in": conn_in,
+        "conn_age": conn_age,
+        "port_flits": port_flits,
+        "conn_out": conn_out,
+    }
+
+
+def _full(shape):
+    if numpy is not None:
+        return numpy.full(shape, PAD, dtype=numpy.int64)
+    if len(shape) == 1:
+        return [PAD] * shape[0]
+    return [_full(shape[1:]) for _ in range(shape[0])]
+
+
+def _set2(arr, i, j, value):
+    if numpy is not None:
+        arr[i, j] = value
+    else:
+        arr[i][j] = value
+
+
+def _set3(arr, i, j, k, value):
+    if numpy is not None:
+        arr[i, j, k] = value
+    else:
+        arr[i][j][k] = value

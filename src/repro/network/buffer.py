@@ -21,9 +21,10 @@ class VirtualChannel:
         "active_out_port",
         "active_out_vc",
         "wait_cycles",
+        "fill",
     )
 
-    def __init__(self, capacity):
+    def __init__(self, capacity, fill=None):
         if capacity < 1:
             raise ValueError(f"VC capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -34,6 +35,10 @@ class VirtualChannel:
         # Consecutive cycles the current front head flit has waited
         # without departing (blocking-latency accounting, Section 4.3).
         self.wait_cycles = 0
+        # Shared occupancy cell (a one-element list) owned by the
+        # router: every push/pop updates it, so the router knows its
+        # total buffered-flit count in O(1) for the idle fast path.
+        self.fill = fill
 
     def __len__(self):
         return len(self.queue)
@@ -52,7 +57,10 @@ class VirtualChannel:
         }
 
     def load_state(self, state, ctx):
+        old_len = len(self.queue)
         self.queue = deque(ctx.flit(f) for f in state["queue"])
+        if self.fill is not None:
+            self.fill[0] += len(self.queue) - old_len
         self.active_packet = (
             ctx.packet(state["active_packet"])
             if state["active_packet"] is not None
@@ -74,6 +82,8 @@ class VirtualChannel:
         if len(self.queue) >= self.capacity:
             raise OverflowError("VC buffer overflow (credit protocol violated)")
         self.queue.append(flit)
+        if self.fill is not None:
+            self.fill[0] += 1
 
     def pop(self):
         """Dequeue the front flit.
@@ -87,6 +97,8 @@ class VirtualChannel:
             self.active_out_port = None
             self.active_out_vc = None
         self.wait_cycles = 0
+        if self.fill is not None:
+            self.fill[0] -= 1
         return flit
 
     def start_packet(self, packet, out_port, out_vc):

@@ -63,11 +63,24 @@ class NetworkConfig:
     credit_delay: int = 2  # "two cycles to generate and transmit credits"
     injection_channel_delay: int = 1
 
+    # --- simulation backend ---
+    #: "reference" is the per-object Python core; "fast" selects the
+    #: structure-of-arrays core in :mod:`repro.fastcore`, which is
+    #: bit-identical to the reference (results, metrics, traces,
+    #: checkpoints) but substantially faster. Unsupported feature
+    #: combinations (fault injection, reliable transport) fall back to
+    #: the reference core with a warning. The backend is an execution
+    #: detail, not an experiment parameter: it is excluded from
+    #: checkpoint config hashes so snapshots stay portable.
+    backend: str = "reference"
+
     # --- misc ---
     seed: int = 1
 
     def __post_init__(self):
         self.chaining = ChainingScheme.parse(self.chaining)
+        if self.backend not in ("reference", "fast"):
+            raise ValueError(f"unknown backend {self.backend!r}")
         if self.topology not in ("mesh", "fbfly", "torus", "cmesh"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.routing not in ("dor", "ugal"):

@@ -22,8 +22,51 @@ from repro.topology import build_topology
 ST_LATENCY = 1
 
 
+class BackendFallbackWarning(UserWarning):
+    """``backend="fast"`` could not be honored; the reference core runs.
+
+    Emitted (never silently swallowed) when the fast core is requested
+    but unavailable (NumPy-less fallback is fine — the fast core does
+    not require it — but e.g. fault injection or a reliable transport
+    force the reference core).
+    """
+
+
+def build_network(config, stats=None, trace=None, allow_fast=True):
+    """Build the Network subclass selected by ``config.backend``.
+
+    ``allow_fast=False`` forces the reference core with a
+    :class:`BackendFallbackWarning` even when ``backend="fast"`` — the
+    runner uses it when a requested feature (fault injection, reliable
+    transport) is outside the fast core's supported envelope. The
+    config object is never mutated, so checkpoint config hashes and
+    saved config files keep the user's backend choice.
+    """
+    import warnings
+
+    if config.backend == "fast":
+        if allow_fast:
+            from repro.fastcore import FastNetwork
+
+            return FastNetwork(config, stats=stats, trace=trace)
+        warnings.warn(
+            "backend='fast' is not supported for this run "
+            "(fault injection / reliable transport require the "
+            "reference core); falling back to backend='reference'",
+            BackendFallbackWarning,
+            stacklevel=2,
+        )
+    return Network(config, stats=stats, trace=trace)
+
+
 class Network:
     """A complete simulated network for one NetworkConfig."""
+
+    #: Router/terminal classes this network builds; the fast core's
+    #: subclass swaps in its implementations while reusing the wiring.
+    ROUTER_CLS = Router
+    SOURCE_CLS = Source
+    SINK_CLS = Sink
 
     def __init__(self, config, stats=None, trace=None):
         self.config = config
@@ -42,8 +85,9 @@ class Network:
         self.sampler = None
         self.cycle = 0
 
+        router_cls = type(self).ROUTER_CLS
         self.routers = [
-            Router(r, self.topology.radix(r), config, self.routing)
+            router_cls(r, self.topology.radix(r), config, self.routing)
             for r in range(self.topology.num_routers)
         ]
         for router in self.routers:
@@ -101,9 +145,12 @@ class Network:
             ej = PipelinedChannel(cfg.injection_channel_delay + ST_LATENCY)
             inj_credit = PipelinedChannel(cfg.credit_delay)
             ej_credit = PipelinedChannel(cfg.credit_delay)
-            source = Source(t, cfg, self.routing, inj, inj_credit, self.stats,
-                            trace=self.trace)
-            sink = Sink(t, ej, ej_credit, self.stats, trace=self.trace)
+            source = type(self).SOURCE_CLS(
+                t, cfg, self.routing, inj, inj_credit, self.stats,
+                trace=self.trace,
+            )
+            sink = type(self).SINK_CLS(t, ej, ej_credit, self.stats,
+                                       trace=self.trace)
             router.in_flit_channels[port] = inj
             router.credit_up_channels[port] = inj_credit
             router.out_flit_channels[port] = ej

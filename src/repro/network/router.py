@@ -71,7 +71,14 @@ class Router:
 
         P, V = radix, config.num_vcs
         depth = config.vc_buf_depth
-        self.in_vcs = [[VirtualChannel(depth) for _ in range(V)] for _ in range(P)]
+        #: Shared buffered-flit counter (see VirtualChannel.fill): kept
+        #: exact by every queue mutation, including direct pushes in
+        #: tests, so the idle fast path in step() can trust it.
+        self._fill = [0]
+        self.in_vcs = [
+            [VirtualChannel(depth, fill=self._fill) for _ in range(V)]
+            for _ in range(P)
+        ]
 
         # Connection registers (incremental allocation state).
         self.conn_in = [None] * P  # input p -> connected output port
@@ -258,8 +265,34 @@ class Router:
         fv = self.faults
         if fv is not None:
             self._fault_prepass(cycle, fv)
-        prof = self.profiler
-        t0 = perf_counter() if prof is not None else 0.0
+        if self._fill[0] == 0 and self._no_held_connections():
+            # Fully idle: no buffered flits, no held connections. None
+            # of the pipeline phases can do anything (no releases, no
+            # streaming, no SA/PC requests, no VC waits, no ages), so
+            # skip the connection-table copies and set/dict churn
+            # entirely. The only per-cycle state an idle router evolves
+            # is the chaining cycle counter.
+            if self.scheme.enabled:
+                self.chain_stats.cycles += 1
+            return
+        if self.profiler is not None:
+            self._step_profiled(cycle)
+        else:
+            self._step_unprofiled(cycle)
+
+    def _no_held_connections(self):
+        for held in self.conn_out:
+            if held is not None:
+                return False
+        return True
+
+    def _step_unprofiled(self, cycle):
+        """The pipeline phases with zero profiling overhead.
+
+        Kept free of ``perf_counter`` lookups and ``prof is not None``
+        branches; :meth:`_step_profiled` is the timed twin. Both must
+        execute the same phase sequence.
+        """
         conn_in_start = list(self.conn_in)
         conn_out_start = list(self.conn_out)
 
@@ -268,19 +301,79 @@ class Router:
         releasing = {}  # output -> (input, vc): tail departed, chainable
 
         self._forced_releases(cycle, released_inputs, inhibited)
-        if prof is not None:
-            t1 = perf_counter(); prof.add("release", t1 - t0); t0 = t1
         departed_vcs = self._stream_connections(
             cycle, releasing, released_inputs, inhibited
         )
-        if prof is not None:
-            t1 = perf_counter(); prof.add("stream", t1 - t0); t0 = t1
+        sa_requests, sa_contrib, forming_tails = self._collect_sa_requests(
+            conn_in_start, conn_out_start
+        )
+        builder = None
+        pc_grants = {}
+        if self.scheme.enabled and (releasing or forming_tails):
+            builder = self._collect_pc_candidates(
+                conn_in_start, releasing, forming_tails, released_inputs,
+                inhibited, sa_requests,
+            )
+            matrix = self._pc_request_matrix(builder)
+            if matrix:
+                pc_grants = self.pc_alloc.allocate(matrix)
+        if sa_requests:
+            sa_grants = self.switch_alloc.allocate(sa_requests)
+        else:
+            sa_grants = {}
+        sa_winner_vc, sa_tail_outputs = self._commit_sa(
+            cycle, sa_grants, sa_contrib, departed_vcs
+        )
+        if pc_grants:
+            self._commit_pc(
+                cycle, pc_grants, builder, sa_grants, sa_winner_vc,
+                sa_tail_outputs, releasing, conn_out_start,
+            )
+        if self.split_va:
+            # VC allocation commits at the end of the cycle: newly
+            # allocated packets bid for the switch starting next cycle
+            # (the extra pipeline stage of a split VA router).
+            self._split_vc_allocation(cycle)
+        self._end_of_cycle(departed_vcs)
+        if self.scheme.enabled:
+            self.chain_stats.cycles += 1
+
+    def _pc_request_matrix(self, builder):
+        matrix = builder.request_matrix()
+        if matrix and not self.config.pc_priorities:
+            # Section 4.7 ablation: collapse the two PC classes
+            # (packet-level priorities remain).
+            matrix = {
+                pair: prio % PCRequestBuilder.CLASS_STRIDE
+                for pair, prio in matrix.items()
+            }
+        return matrix
+
+    def _step_profiled(self, cycle):
+        """Same phases as :meth:`_step_unprofiled`, with the profiler's
+        per-phase and per-allocator timers pre-bound once per cycle."""
+        prof = self.profiler
+        now = perf_counter  # pre-bound: one global lookup per cycle
+        add = prof.add
+        t0 = now()
+        conn_in_start = list(self.conn_in)
+        conn_out_start = list(self.conn_out)
+
+        released_inputs = set()
+        inhibited = set()
+        releasing = {}
+
+        self._forced_releases(cycle, released_inputs, inhibited)
+        t1 = now(); add("release", t1 - t0); t0 = t1
+        departed_vcs = self._stream_connections(
+            cycle, releasing, released_inputs, inhibited
+        )
+        t1 = now(); add("stream", t1 - t0); t0 = t1
 
         sa_requests, sa_contrib, forming_tails = self._collect_sa_requests(
             conn_in_start, conn_out_start
         )
-        if prof is not None:
-            t1 = perf_counter(); prof.add("sa_collect", t1 - t0); t0 = t1
+        t1 = now(); add("sa_collect", t1 - t0); t0 = t1
 
         builder = None
         pc_grants = {}
@@ -289,60 +382,39 @@ class Router:
                 conn_in_start, releasing, forming_tails, released_inputs,
                 inhibited, sa_requests,
             )
-            matrix = builder.request_matrix()
+            matrix = self._pc_request_matrix(builder)
             if matrix:
-                if not self.config.pc_priorities:
-                    # Section 4.7 ablation: collapse the two PC classes
-                    # (packet-level priorities remain).
-                    matrix = {
-                        pair: prio % PCRequestBuilder.CLASS_STRIDE
-                        for pair, prio in matrix.items()
-                    }
-                if prof is not None:
-                    ta = perf_counter()
-                    pc_grants = self.pc_alloc.allocate(matrix)
-                    prof.add_component("pc", self._prof_pc,
-                                       perf_counter() - ta)
-                else:
-                    pc_grants = self.pc_alloc.allocate(matrix)
-        if prof is not None:
-            t1 = perf_counter(); prof.add("pc", t1 - t0); t0 = t1
+                ta = now()
+                pc_grants = self.pc_alloc.allocate(matrix)
+                prof.add_component("pc", self._prof_pc, now() - ta)
+        t1 = now(); add("pc", t1 - t0); t0 = t1
 
-        if not sa_requests:
-            sa_grants = {}
-        elif prof is not None:
-            ta = perf_counter()
+        if sa_requests:
+            ta = now()
             sa_grants = self.switch_alloc.allocate(sa_requests)
-            prof.add_component("sa", self._prof_sa, perf_counter() - ta)
+            prof.add_component("sa", self._prof_sa, now() - ta)
         else:
-            sa_grants = self.switch_alloc.allocate(sa_requests)
+            sa_grants = {}
         sa_winner_vc, sa_tail_outputs = self._commit_sa(
             cycle, sa_grants, sa_contrib, departed_vcs
         )
-        if prof is not None:
-            t1 = perf_counter(); prof.add("sa", t1 - t0); t0 = t1
+        t1 = now(); add("sa", t1 - t0); t0 = t1
 
         if pc_grants:
             self._commit_pc(
                 cycle, pc_grants, builder, sa_grants, sa_winner_vc,
                 sa_tail_outputs, releasing, conn_out_start,
             )
-        if prof is not None:
-            t1 = perf_counter(); prof.add("pc", t1 - t0); t0 = t1
+        t1 = now(); add("pc", t1 - t0); t0 = t1
 
         if self.split_va:
-            # VC allocation commits at the end of the cycle: newly
-            # allocated packets bid for the switch starting next cycle
-            # (the extra pipeline stage of a split VA router).
             self._split_vc_allocation(cycle)
-        if prof is not None:
-            t1 = perf_counter(); prof.add("vc_alloc", t1 - t0); t0 = t1
+        t1 = now(); add("vc_alloc", t1 - t0); t0 = t1
 
         self._end_of_cycle(departed_vcs)
         if self.scheme.enabled:
             self.chain_stats.cycles += 1
-        if prof is not None:
-            prof.add("end", perf_counter() - t0)
+        add("end", now() - t0)
 
     # --- 0. fault pre-pass (only when fault injection is attached) -------
 
@@ -422,6 +494,7 @@ class Router:
         up = self.credit_up_channels[p]
         while vcobj.queue and vcobj.queue[0].packet.killed:
             flit = vcobj.queue.popleft()
+            self._fill[0] -= 1
             vcobj.wait_cycles = 0
             if up is not None:
                 up.send(v, cycle)

@@ -26,7 +26,7 @@ from repro.checkpoint import (
     verify_resumable,
 )
 from repro.network.config import NetworkConfig
-from repro.network.network import Network
+from repro.network.network import Network, build_network
 from repro.stats.summary import summarize
 from repro.traffic.injection import BernoulliInjector, FixedLength
 from repro.traffic.patterns import build_pattern
@@ -257,7 +257,12 @@ def run_simulation(
             "measure": measure,
             "drain": drain,
         }
-    net = Network(config, trace=trace)
+    # Fault injection and the reliable transport are outside the fast
+    # core's envelope; build_network falls back to the reference core
+    # with a BackendFallbackWarning rather than failing or silently
+    # dropping the features.
+    allow_fast = faults is None and transport is None
+    net = build_network(config, trace=trace, allow_fast=allow_fast)
     if profiler is not None:
         net.attach_profiler(profiler)
     if sampler is not None:

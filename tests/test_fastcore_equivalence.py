@@ -1,0 +1,147 @@
+"""Fast-core equivalence: the bit-identical correctness bar.
+
+The structure-of-arrays core (``backend="fast"``) must be
+indistinguishable from the reference core on everything a run can
+export: bit-identical SimResult JSON, bit-identical metrics export, an
+identical trace-event stream, and checkpoints that round-trip across
+backends in both directions. Anything less and the fast core is a
+different simulator, not a faster one.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.checkpoint import SimulationKilled, load_checkpoint
+from repro.network import flit as flitmod
+from repro.network.config import mesh_config
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import MemorySink, TraceBus
+from repro.sim.runner import run_simulation
+
+
+RUN = dict(pattern="uniform", rate=0.3, warmup=100, measure=300, drain=200)
+
+SEEDS = [1, 2, 3]
+
+#: allocator x chaining grid from the issue: both allocators, chaining
+#: on and off (the chained configs exercise the PC pipeline end to end).
+CONFIGS = {
+    "islip1": dict(allocator="islip1", chaining="disabled"),
+    "islip1+chain": dict(allocator="islip1", chaining="any_input"),
+    "wavefront": dict(allocator="wavefront", chaining="disabled"),
+    "wavefront+chain": dict(allocator="wavefront", chaining="any_input"),
+}
+
+
+def _traced_run(config, **kw):
+    """(result JSON, metrics JSON, trace events) for one run."""
+    flitmod.set_next_packet_id(0)
+    bus = TraceBus()
+    sink = bus.attach(MemorySink())
+    registry = MetricsRegistry()
+    result = run_simulation(config, trace=bus, metrics=registry, **kw)
+    return (
+        json.dumps(result.to_dict(), sort_keys=True),
+        json.dumps(registry.to_dict(), sort_keys=True),
+        sink.events,
+    )
+
+
+def _both_backends(config, **kw):
+    ref = _traced_run(dataclasses.replace(config, backend="reference"), **kw)
+    fast = _traced_run(dataclasses.replace(config, backend="fast"), **kw)
+    return ref, fast
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_backend_is_bit_identical(label, seed):
+    config = mesh_config(mesh_k=4, seed=seed, **CONFIGS[label])
+    ref, fast = _both_backends(config, **RUN)
+    assert fast[0] == ref[0]  # SimResult JSON
+    assert fast[1] == ref[1]  # metrics export
+    assert fast[2] == ref[2]  # full trace-event stream
+    assert fast[2]  # the comparison is not vacuous
+
+
+def test_fast_backend_matches_on_larger_mesh():
+    """mesh_k=8 shakes out radix/topology assumptions the 4x4 hides."""
+    config = mesh_config(mesh_k=8, seed=2, chaining="any_input")
+    ref, fast = _both_backends(config, **RUN)
+    assert fast == ref
+
+
+def test_fast_backend_matches_with_starvation_threshold():
+    """THRESHOLD starvation control takes the non-default chain gates."""
+    config = mesh_config(
+        mesh_k=4, seed=1, chaining="any_input", starvation_threshold=8
+    )
+    ref, fast = _both_backends(config, **RUN)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("first,second", [
+    ("reference", "fast"),
+    ("fast", "reference"),
+])
+def test_checkpoint_round_trips_across_backends(tmp_path, first, second):
+    """A checkpoint taken under one backend restores under the other.
+
+    The config hash excludes the backend (it is an execution detail,
+    not an experiment parameter), so flipping it in the payload must
+    restore cleanly and converge on the uninterrupted run's answer.
+    """
+    config = mesh_config(mesh_k=4, seed=5, chaining="any_input")
+    ref, _ = _both_backends(config, **RUN)
+
+    ck = str(tmp_path / "ck.json")
+    flitmod.set_next_packet_id(0)
+    with pytest.raises(SimulationKilled):
+        run_simulation(
+            dataclasses.replace(config, backend=first),
+            checkpoint_path=ck, checkpoint_every=100, kill_at=250, **RUN,
+        )
+    payload = load_checkpoint(ck)
+    assert payload["config"]["backend"] == first
+    payload = dict(payload, config=dict(payload["config"], backend=second))
+
+    flitmod.set_next_packet_id(0)
+    bus = TraceBus()
+    sink = bus.attach(MemorySink())
+    registry = MetricsRegistry()
+    result = run_simulation(
+        dataclasses.replace(config, backend=second),
+        trace=bus, metrics=registry, resume_from=payload, **RUN,
+    )
+    assert json.dumps(result.to_dict(), sort_keys=True) == ref[0]
+    assert json.dumps(registry.to_dict(), sort_keys=True) == ref[1]
+    ck_cycle = payload["cycle"]
+    assert sink.events == [e for e in ref[2] if e["cycle"] >= ck_cycle]
+    assert sink.events
+
+
+def test_state_snapshot_round_trips_between_network_classes():
+    """network.snapshot() from one backend restores into the other."""
+    from repro.checkpoint import RestoreContext, SnapshotContext
+    from repro.network.network import build_network
+    from repro.sim.runner import run_simulation as _run  # noqa: F401
+
+    config = mesh_config(mesh_k=4, seed=3, chaining="any_input")
+
+    # Drive a fast network for a while, snapshot it.
+    flitmod.set_next_packet_id(0)
+    _traced_run(dataclasses.replace(config, backend="fast"), **RUN)
+    # A fresh pair of networks: snapshot an idle reference network into
+    # a fast one and back; layouts must be interchangeable.
+    ref_net = build_network(dataclasses.replace(config, backend="reference"))
+    fast_net = build_network(dataclasses.replace(config, backend="fast"))
+    ctx = SnapshotContext()
+    state = ref_net.snapshot(ctx)
+    fast_net.restore(state, RestoreContext(ctx.packets))
+    ctx2 = SnapshotContext()
+    state2 = fast_net.snapshot(ctx2)
+    ref_net.restore(state2, RestoreContext(ctx2.packets))
+    assert json.dumps(state, sort_keys=True) == \
+        json.dumps(state2, sort_keys=True)
