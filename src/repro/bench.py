@@ -58,6 +58,10 @@ class BenchCase:
     seed: int = 1
     #: Simulation core this case runs on ("reference" or "fast").
     backend: str = "reference"
+    #: Digest stride (``--digest-every``); None runs digest-free. A
+    #: digesting case measures the observability tax of the lockstep
+    #: microscope's state hashing, gated like any other case.
+    digest_every: Optional[int] = None
 
     def config(self):
         routing = "ugal" if self.topology == "fbfly" else "dor"
@@ -102,6 +106,14 @@ def default_suite(quick=False, scale=1.0):
              0.4, 200, 800),
         case("torus4-islip1-chain", "torus", 4, "islip1", "any_input",
              0.4, 200, 800),
+        # Digest-overhead probe: same grid point as mesh4-islip1-chain
+        # but hashing whole-network state every 64 cycles. Its trend
+        # line bounds the lockstep microscope's observability tax.
+        dataclasses.replace(
+            case("mesh4-islip1-digest64", "mesh", 4, "islip1", "any_input",
+                 0.4, 200, 800),
+            digest_every=64,
+        ),
     ]
     # Fast-core twins of the reference cases whose reference-vs-fast
     # ratio the roadmap tracks (recorded under "speedups"). Each twin
@@ -163,6 +175,7 @@ def run_case(case, repeats=3):
         result = run_simulation(
             case.config(), rate=case.rate, warmup=case.warmup,
             measure=case.measure, drain=0, seed=case.seed,
+            digest_every=case.digest_every,
         )
         elapsed = time.perf_counter() - start
         cycles_run = result.cycles_run

@@ -39,11 +39,37 @@ from repro.network.flit import (
     set_next_packet_id,
 )
 from repro.obs.artifacts import atomic_write
+from repro.routing.torus_dor import TorusRouteState
+from repro.routing.ugal import UGALState
 
 #: Bump on any incompatible change to the checkpoint layout.
-SCHEMA_VERSION = 1
+#: 2: routers serialize per-allocator request/grant counters
+#:    (``alloc_counters``).
+SCHEMA_VERSION = 2
 
 _MAGIC = "repro-checkpoint"
+
+
+# One shared encoder: json.dumps with keyword options builds a fresh
+# JSONEncoder per call, which the per-cycle digest path would pay tens
+# of thousands of times per run.
+_CANONICAL_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(obj):
+    """The repository-wide canonical JSON encoding.
+
+    Key-sorted, whitespace-free ``json.dumps`` — the one encoding used
+    for checkpoint files, config hashes, and the per-component state
+    digests in :mod:`repro.obs.digest`, so a hash of canonical JSON is
+    stable across processes and dict insertion orders.
+    """
+    return _CANONICAL_ENCODER.encode(obj)
+
+
+def canonical_sha256(obj):
+    """Hex SHA-256 of an object's canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
 
 
 class CheckpointError(RuntimeError):
@@ -68,9 +94,6 @@ class SimulationKilled(RuntimeError):
 
 
 def _route_state_to_json(state):
-    from repro.routing.torus_dor import TorusRouteState
-    from repro.routing.ugal import UGALState
-
     if state is None:
         return None
     if isinstance(state, UGALState):
@@ -94,9 +117,6 @@ def _route_state_to_json(state):
 
 
 def _route_state_from_json(data):
-    from repro.routing.torus_dor import TorusRouteState
-    from repro.routing.ugal import UGALState
-
     if data is None:
         return None
     kind = data["kind"]
@@ -120,38 +140,54 @@ class SnapshotContext:
     Components call :meth:`flit` / :meth:`packet_ref`; the packet table
     accumulated in ``packets`` goes into the checkpoint once, however
     many flits or queue slots reference each packet.
+
+    ``packet_cache`` shares the *serialized* packet dicts between
+    several contexts taken at the same instant (the per-component
+    digest path serializes each in-flight packet once per component
+    that sees it); callers must not reuse a cache across simulated
+    cycles — packets mutate between cycles.
     """
 
-    def __init__(self):
+    def __init__(self, packet_cache=None):
         self.packets = {}
+        self._cache = packet_cache
 
     def packet_ref(self, packet):
         pid = packet.pid
-        if pid not in self.packets:
-            payload = packet.payload
-            if payload is not None and not isinstance(
-                payload, (bool, int, float, str)
-            ):
-                raise CheckpointError(
-                    f"packet {pid} carries a non-JSON payload "
-                    f"({type(payload).__name__}); checkpointing supports "
-                    f"scalar payloads only"
-                )
-            self.packets[pid] = {
-                "src": packet.src,
-                "dest": packet.dest,
-                "size": packet.size,
-                "vc_class": packet.vc_class,
-                "priority": packet.priority,
-                "time_created": packet.time_created,
-                "time_injected": packet.time_injected,
-                "time_ejected": packet.time_ejected,
-                "route_state": _route_state_to_json(packet.route_state),
-                "blocked_cycles": packet.blocked_cycles,
-                "payload": payload,
-                "killed": packet.killed,
-                "corrupted": packet.corrupted,
-            }
+        if pid in self.packets:
+            return pid
+        if self._cache is not None:
+            cached = self._cache.get(pid)
+            if cached is not None:
+                self.packets[pid] = cached
+                return pid
+        payload = packet.payload
+        if payload is not None and not isinstance(
+            payload, (bool, int, float, str)
+        ):
+            raise CheckpointError(
+                f"packet {pid} carries a non-JSON payload "
+                f"({type(payload).__name__}); checkpointing supports "
+                f"scalar payloads only"
+            )
+        serialized = {
+            "src": packet.src,
+            "dest": packet.dest,
+            "size": packet.size,
+            "vc_class": packet.vc_class,
+            "priority": packet.priority,
+            "time_created": packet.time_created,
+            "time_injected": packet.time_injected,
+            "time_ejected": packet.time_ejected,
+            "route_state": _route_state_to_json(packet.route_state),
+            "blocked_cycles": packet.blocked_cycles,
+            "payload": payload,
+            "killed": packet.killed,
+            "corrupted": packet.corrupted,
+        }
+        self.packets[pid] = serialized
+        if self._cache is not None:
+            self._cache[pid] = serialized
         return pid
 
     def flit(self, flit):
@@ -249,11 +285,7 @@ def config_hash(config, run_spec):
     """
     config_dict = config.to_dict()
     config_dict.pop("backend", None)
-    blob = json.dumps(
-        {"config": config_dict, "run": run_spec},
-        sort_keys=True, separators=(",", ":"),
-    )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return canonical_sha256({"config": config_dict, "run": run_spec})
 
 
 # ---------------------------------------------------------------------------
@@ -298,8 +330,7 @@ def restore_run(run, payload):
 
 def save_checkpoint(path, payload):
     """Atomically write a checkpoint (gzip-compressed for ``.gz`` paths)."""
-    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    data = data.encode("utf-8")
+    data = canonical_json(payload).encode("utf-8")
     if str(path).endswith(".gz"):
         # mtime=0 keeps same-state checkpoints byte-identical.
         data = gzip.compress(data, mtime=0)

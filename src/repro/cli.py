@@ -337,10 +337,47 @@ def _print_result(result, out):
         )
 
 
+def _digest_from(args):
+    """Build a DigestRecorder from --digest/--digest-every, or None."""
+    if not getattr(args, "digest", None):
+        return None
+    from repro.obs.digest import DigestRecorder
+
+    return DigestRecorder(every=args.digest_every, path=args.digest)
+
+
+def _print_digest_line(args, digester, out):
+    if digester is not None:
+        out.write(
+            f"digest stream     : {args.digest}"
+            f" ({digester.digests_taken} digests, fingerprint"
+            f" {digester.fingerprint[:16]})\n"
+        )
+
+
+def _print_alloc_efficiency(registry, out):
+    """One grant-efficiency line per active allocation stage."""
+    if registry is None:
+        return
+    data = registry.to_dict()
+    counters, gauges = data["counters"], data["gauges"]
+    parts = []
+    for role, label in (("sa", "SA"), ("pc", "PC"), ("vc", "VC")):
+        requests = counters.get(f"{role}_alloc_requests", 0)
+        if not requests:
+            continue
+        grants = counters.get(f"{role}_alloc_grants", 0)
+        eff = gauges.get(f"{role}_grant_efficiency", 0.0)
+        parts.append(f"{label} {eff:.3f} ({grants}/{requests})")
+    if parts:
+        out.write(f"grant efficiency  : {', '.join(parts)}\n")
+
+
 def cmd_run(args, out):
     bus, profiler, registry, sampler, telemetry = _obs_from(args)
     config = _config_from(args)
     controller, transport, checker, watchdog = _faults_from(args)
+    digester = _digest_from(args)
     try:
         result = run_simulation(
             config, pattern=args.pattern, rate=args.rate,
@@ -353,6 +390,7 @@ def cmd_run(args, out):
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume_from=args.resume, kill_at=args.kill_at,
+            digest=digester,
         )
     except SimulationKilled as exc:
         _finish_obs(args, bus, profiler)
@@ -384,10 +422,17 @@ def cmd_run(args, out):
     if args.json:
         payload = result.to_dict()
         payload["metrics"] = registry.to_dict()
+        if digester is not None:
+            payload["digest"] = {
+                "path": args.digest,
+                "digests": digester.digests_taken,
+                "fingerprint": digester.fingerprint,
+            }
         json.dump(payload, out, indent=2, sort_keys=True)
         out.write("\n")
     else:
         _print_result(result, out)
+        _print_alloc_efficiency(registry, out)
         if result.drained is not None:
             state = "complete" if result.drained else "INCOMPLETE"
             out.write(
@@ -399,6 +444,7 @@ def cmd_run(args, out):
                 f"simulation speed  : {result.timing['cycles_per_sec']:.0f}"
                 f" cycles/sec\n"
             )
+        _print_digest_line(args, digester, out)
         _print_fault_summary(result, out)
     return 0
 
@@ -406,6 +452,7 @@ def cmd_run(args, out):
 def cmd_resume(args, out):
     """Resume a checkpointed run and drive it to completion."""
     bus, profiler, registry, sampler, telemetry = _obs_from(args)
+    digester = _digest_from(args)
     try:
         result = resume_simulation(
             args.checkpoint_file, trace=bus, profiler=profiler,
@@ -413,6 +460,7 @@ def cmd_resume(args, out):
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             kill_at=args.kill_at,
+            digest=digester,
         )
     except SimulationKilled as exc:
         _finish_obs(args, bus, profiler)
@@ -427,10 +475,18 @@ def cmd_resume(args, out):
     if args.json:
         payload = result.to_dict()
         payload["metrics"] = registry.to_dict()
+        if digester is not None:
+            payload["digest"] = {
+                "path": args.digest,
+                "digests": digester.digests_taken,
+                "fingerprint": digester.fingerprint,
+            }
         json.dump(payload, out, indent=2, sort_keys=True)
         out.write("\n")
     else:
         _print_result(result, out)
+        _print_alloc_efficiency(registry, out)
+        _print_digest_line(args, digester, out)
     return 0
 
 
@@ -580,6 +636,23 @@ def _try_load_profile(path):
     return data if is_profile_dict(data) else None
 
 
+def _try_load_metrics(path):
+    """Parsed metrics dict if ``path`` is a run --metrics JSON, else None."""
+    if path == "-":
+        return None
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(1) not in (b"{", b""):
+                return None
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(data, dict) and "counters" in data and "gauges" in data:
+        return data
+    return None
+
+
 def cmd_report(args, out):
     profile = _try_load_profile(args.tracefile)
     if profile is not None:
@@ -590,6 +663,12 @@ def cmd_report(args, out):
                     fh.write(line + "\n")
             out.write(f"collapsed stacks  : {args.collapsed}"
                       " (flamegraph.pl / speedscope compatible)\n")
+        return 0
+    metrics = _try_load_metrics(args.tracefile)
+    if metrics is not None:
+        from repro.obs.report import format_metrics_report
+
+        out.write(format_metrics_report(metrics, top=args.top))
         return 0
     if args.collapsed:
         out.write("repro report: --collapsed needs a profile JSON "
@@ -626,6 +705,123 @@ def cmd_diff(args, out):
     else:
         out.write(format_diff(diff))
     return 1 if diff.regressions else 0
+
+
+def _print_divergence(report, out):
+    out.write(f"verdict           : DIVERGED at cycle {report['cycle']}\n")
+    last_match = report.get("last_match_cycle")
+    if last_match is not None:
+        out.write(f"last match        : cycle {last_match}\n")
+    components = report.get("components", [])
+    if components:
+        out.write(f"components        : {', '.join(components)}\n")
+    elif report.get("uncovered_cycles"):
+        missing = report["uncovered_cycles"]
+        out.write(
+            f"run length        : live run ended at cycle"
+            f" {report['cycle']}; stream records {len(missing)} later"
+            f" cycle(s) (first: {missing[0]})\n"
+        )
+    diffs = report.get("diffs") or {}
+    digests = report.get("digests") or {}
+    for path in components:
+        for entry in diffs.get(path, [])[:5]:
+            out.write(
+                f"  {path}.{entry['key']}:"
+                f" {entry['a']!r} != {entry['b']!r}\n"
+            )
+        if path not in diffs and path in digests:
+            pair = digests[path]
+            out.write(
+                f"  {path}: digest {str(pair['a'])[:12]}"
+                f" != {str(pair['b'])[:12]}\n"
+            )
+    soa = report.get("soa_consistent") or {}
+    for side in ("a", "b"):
+        if soa.get(side) is False:
+            out.write(
+                f"soa parity        : side {side} SoA export drifted from"
+                f" its state_dict (fastcore bookkeeping bug)\n"
+            )
+
+
+def cmd_diverge(args, out):
+    """Lockstep differential run; bisect the first divergent cycle."""
+    import dataclasses
+
+    from repro.obs import lockstep
+    from repro.obs.digest import read_digest_stream
+
+    if args.vs_config and args.vs_backend:
+        out.write("repro diverge: --vs-config and --vs-backend are "
+                  "mutually exclusive\n")
+        return 2
+    config_a = _config_from(args)
+    spec = dict(
+        pattern=args.pattern, rate=args.rate, lengths=_lengths_from(args),
+        warmup=args.warmup, measure=args.measure, drain=args.drain,
+        trace_events=args.events,
+    )
+    try:
+        if args.vs_digests:
+            stream = read_digest_stream(args.vs_digests)
+            recorded = (stream.header or {}).get("config")
+            if recorded is not None:
+                mine = config_a.to_dict()
+                mine.pop("backend", None)
+                if mine != recorded:
+                    out.write(
+                        "repro diverge: network config does not match the"
+                        " recorded stream's (refusing to compare different"
+                        " experiments)\n"
+                    )
+                    return 2
+            side = lockstep.LockstepSide(
+                f"backend:{config_a.backend}", config_a, **spec
+            )
+            report = lockstep.run_vs_stream(side, stream)
+        else:
+            if args.vs_config:
+                config_b = NetworkConfig.load(args.vs_config)
+                label_b = f"config:{args.vs_config}"
+            else:
+                vs_backend = args.vs_backend or (
+                    "reference" if config_a.backend == "fast" else "fast"
+                )
+                config_b = dataclasses.replace(config_a, backend=vs_backend)
+                label_b = f"backend:{vs_backend}"
+            report = lockstep.find_divergence(
+                lockstep.side_factory(
+                    f"backend:{config_a.backend}", config_a, **spec
+                ),
+                lockstep.side_factory(label_b, config_b, **spec),
+                every=args.digest_every,
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        out.write(f"repro diverge: {exc}\n")
+        return 2
+    if report is None:
+        if args.json:
+            json.dump({"verdict": "identical"}, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            out.write("verdict           : IDENTICAL"
+                      " (no digest mismatch at any compared cycle)\n")
+        return 0
+    if args.report:
+        from repro.obs.artifacts import atomic_write
+
+        with atomic_write(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _print_divergence(report, out)
+        if args.report:
+            out.write(f"report            : {args.report}\n")
+    return 1
 
 
 def cmd_watch(args, out):
@@ -782,6 +978,12 @@ def build_parser():
     p.add_argument("--kill-at", type=int, default=None, metavar="CYCLE",
                    help="abort after this cycle with exit code 4 "
                         "(chaos testing for checkpoint/resume)")
+    p.add_argument("--digest", default=None, metavar="FILE",
+                   help="stream hierarchical state digests to a JSONL file "
+                        "(.gz compresses; compare with 'repro diverge "
+                        "--vs-digests')")
+    p.add_argument("--digest-every", type=int, default=64, metavar="N",
+                   help="cycles between digests (with --digest)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -796,6 +998,11 @@ def build_parser():
                    help="cycles between checkpoints (with --checkpoint)")
     p.add_argument("--kill-at", type=int, default=None, metavar="CYCLE",
                    help="abort again after this cycle with exit code 4")
+    p.add_argument("--digest", default=None, metavar="FILE",
+                   help="stream state digests of the resumed cycles to a "
+                        "JSONL file")
+    p.add_argument("--digest-every", type=int, default=64, metavar="N",
+                   help="cycles between digests (with --digest)")
     p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser(
@@ -938,6 +1145,34 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the diff as JSON")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "diverge",
+        help="lockstep differential run; bisect the first divergent cycle",
+    )
+    _add_network_args(p)
+    _add_traffic_args(p)
+    p.add_argument("--rate", type=float, default=0.4)
+    p.add_argument("--vs-backend", default=None,
+                   choices=["reference", "fast"],
+                   help="side B runs the same config under this backend "
+                        "(default: whichever backend side A is not using)")
+    p.add_argument("--vs-config", default=None, metavar="FILE",
+                   help="side B runs a different NetworkConfig JSON under "
+                        "the same traffic")
+    p.add_argument("--vs-digests", default=None, metavar="FILE",
+                   help="compare the live run against a recorded digest "
+                        "stream (run --digest) instead of a second network")
+    p.add_argument("--digest-every", type=int, default=64, metavar="N",
+                   help="coarse comparison stride; the refinement pass "
+                        "always pins the exact first divergent cycle")
+    p.add_argument("--events", type=int, default=64, metavar="K",
+                   help="trace events kept per side for the report tail")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the machine-readable divergence report JSON")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report (or verdict) as JSON")
+    p.set_defaults(func=cmd_diverge)
 
     p = sub.add_parser("saturation", help="binary-search the saturation rate")
     _add_network_args(p)

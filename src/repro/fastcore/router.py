@@ -475,6 +475,9 @@ class FastRouter(Router):
                     pc_grants = {i: o}
                 else:
                     pc_grants = self.pc_alloc.allocate(matrix)
+                counters = self.alloc_counters
+                counters["pc_requests"] += len(matrix)
+                counters["pc_grants"] += len(pc_grants)
         if sa_requests:
             if len(sa_requests) == 1 and self._sa_inline:
                 ((i, o),) = sa_requests
@@ -484,6 +487,9 @@ class FastRouter(Router):
                 sa_grants = {i: o}
             else:
                 sa_grants = self.switch_alloc.allocate(sa_requests)
+            counters = self.alloc_counters
+            counters["sa_requests"] += len(sa_requests)
+            counters["sa_grants"] += len(sa_grants)
         else:
             sa_grants = {}
         sa_winner_vc = {}

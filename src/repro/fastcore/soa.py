@@ -74,6 +74,82 @@ def state_arrays(network):
     }
 
 
+def state_arrays_from_state(router_states, num_vcs):
+    """Rebuild the SoA export from routers' canonical ``state_dict()``s.
+
+    ``router_states`` is the list of per-router ``state_dict(ctx)``
+    outputs (the exact structures checkpoints store and
+    :mod:`repro.obs.digest` hashes). Producing the same arrays
+    :func:`state_arrays` reads off the live objects closes the coverage
+    gap between the two representations: if the fast core's array view
+    ever drifted from canonical state, the two exports would disagree.
+    """
+    num_routers = len(router_states)
+    max_radix = max(len(state["conn_in"]) for state in router_states)
+
+    credits = _full((num_routers, max_radix, num_vcs))
+    occupancy = _full((num_routers, max_radix, num_vcs))
+    conn_in = _full((num_routers, max_radix))
+    conn_age = _full((num_routers, max_radix))
+    port_flits = _full((num_routers, max_radix))
+    conn_out = _full((num_routers, max_radix, 2))
+
+    for r, state in enumerate(router_states):
+        radix = len(state["conn_in"])
+        for p in range(radix):
+            rc = state["credits"][p]
+            vcs = state["in_vcs"][p]
+            for v in range(num_vcs):
+                _set3(credits, r, p, v, rc[v])
+                _set3(occupancy, r, p, v, len(vcs[v]["queue"]))
+            ci = state["conn_in"][p]
+            _set2(conn_in, r, p, ci if ci is not None else PAD)
+            _set2(conn_age, r, p, state["conn_age"][p])
+            _set2(port_flits, r, p, state["port_flits"][p])
+            held = state["conn_out"][p]
+            if held is None:
+                _set3(conn_out, r, p, 0, PAD)
+                _set3(conn_out, r, p, 1, PAD)
+            else:
+                _set3(conn_out, r, p, 0, held[0])
+                _set3(conn_out, r, p, 1, held[1])
+    return {
+        "credits": credits,
+        "occupancy": occupancy,
+        "conn_in": conn_in,
+        "conn_age": conn_age,
+        "port_flits": port_flits,
+        "conn_out": conn_out,
+    }
+
+
+def verify_state_arrays(network):
+    """Assert the live SoA export matches the state_dict()-derived one.
+
+    Raises AssertionError naming the first mismatching array; returns
+    the (verified) live export. ``repro diverge`` runs this at a
+    divergence point to tell SoA-maintenance bugs from allocation bugs.
+    """
+    from repro.checkpoint import SnapshotContext
+
+    live = state_arrays(network)
+    derived = state_arrays_from_state(
+        [r.state_dict(SnapshotContext()) for r in network.routers],
+        network.config.num_vcs,
+    )
+    for key in live:
+        a, b = live[key], derived[key]
+        if numpy is not None:
+            equal = bool(numpy.array_equal(a, b))
+        else:
+            equal = a == b
+        assert equal, (
+            f"SoA export drifted from canonical state_dict() state: "
+            f"array {key!r} differs"
+        )
+    return live
+
+
 def _full(shape):
     if numpy is not None:
         return numpy.full(shape, PAD, dtype=numpy.int64)

@@ -2,6 +2,8 @@
 
 from collections import deque
 
+from repro.network.flit import Flit
+
 
 class PipelinedChannel:
     """A fixed-latency channel modeled as a timestamped FIFO.
@@ -44,8 +46,6 @@ class PipelinedChannel:
         Due cycles are absolute, so the restored network must resume at
         the same ``Network.cycle`` the snapshot was taken at.
         """
-        from repro.network.flit import Flit
-
         items = []
         for due, item in self._queue:
             if isinstance(item, Flit):

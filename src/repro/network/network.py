@@ -371,6 +371,7 @@ class Network:
         registry.gauge(
             "in_flight_flits", help="Flits buffered in routers or on channels"
         ).set(self.in_flight_flits())
+        self._publish_alloc_metrics(registry)
         if self.faults is not None:
             self.faults.publish_metrics(registry)
         if self.transport is not None:
@@ -378,3 +379,34 @@ class Network:
         if self.invariants is not None:
             self.invariants.publish_metrics(registry)
         return registry
+
+    def _publish_alloc_metrics(self, registry):
+        """Per-allocator grant efficiency: grants issued / requests
+        presented, summed over routers — the paper's allocation-quality
+        quantity, exported alongside the raw request/grant totals."""
+        totals = {key: 0 for key in
+                  ("sa_requests", "sa_grants", "pc_requests", "pc_grants",
+                   "vc_requests", "vc_grants")}
+        for router in self.routers:
+            for key, value in router.alloc_counters.items():
+                totals[key] += value
+        names = {
+            "sa": ("Switch allocation", self.config.allocator),
+            "pc": ("Packet-chaining allocation", self.config.pc_allocator),
+            "vc": ("Split VC allocation", self.config.allocator),
+        }
+        for role, (stage, alloc_name) in names.items():
+            requests = totals[f"{role}_requests"]
+            grants = totals[f"{role}_grants"]
+            registry.counter(
+                f"{role}_alloc_requests",
+                help=f"{stage} requests presented ({alloc_name})",
+            ).inc(requests)
+            registry.counter(
+                f"{role}_alloc_grants",
+                help=f"{stage} grants issued ({alloc_name})",
+            ).inc(grants)
+            registry.gauge(
+                f"{role}_grant_efficiency",
+                help=f"{stage} grants / requests ({alloc_name})",
+            ).set(grants / requests if requests else 0.0)

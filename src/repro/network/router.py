@@ -38,7 +38,6 @@ allocator. Each cycle:
     cycle and never enters switch allocation.
 """
 
-import dataclasses
 from time import perf_counter
 
 from repro.allocators import make_allocator
@@ -115,6 +114,14 @@ class Router:
         )
         #: SA grants wasted on failed speculation (no output VC free).
         self.wasted_speculations = 0
+        #: Per-allocator request/grant totals (grant efficiency =
+        #: grants / requests); incremented identically by the reference
+        #: and fast step paths, published via Network.publish_metrics.
+        self.alloc_counters = {
+            "sa_requests": 0, "sa_grants": 0,
+            "pc_requests": 0, "pc_grants": 0,
+            "vc_requests": 0, "vc_grants": 0,
+        }
         self.scheme = config.chaining
         self.starvation = StarvationControl.from_config(
             config.starvation_threshold, config.age_period
@@ -184,9 +191,13 @@ class Router:
                 self.vc_alloc.state_dict() if self.vc_alloc is not None else None
             ),
             "wasted_speculations": self.wasted_speculations,
+            "alloc_counters": dict(self.alloc_counters),
             "sa_vc_arbiters": [a.state_dict() for a in self._sa_vc_arbiters],
             "pc_vc_arbiters": [a.state_dict() for a in self._pc_vc_arbiters],
-            "chain_stats": dataclasses.asdict(self.chain_stats),
+            # ChainStats is a flat dataclass of ints; vars() gives the
+            # same mapping as dataclasses.asdict() without its recursive
+            # deep-copy machinery (this runs per router per digest).
+            "chain_stats": dict(vars(self.chain_stats)),
             "port_flits": list(self.port_flits),
             "out_flit_channels": [
                 chan.state_dict(ctx) if chan is not None else None
@@ -217,6 +228,7 @@ class Router:
         if self.vc_alloc is not None:
             self.vc_alloc.load_state(state["vc_alloc"])
         self.wasted_speculations = state["wasted_speculations"]
+        self.alloc_counters = dict(state["alloc_counters"])
         for arb, s in zip(self._sa_vc_arbiters, state["sa_vc_arbiters"]):
             arb.load_state(s)
         for arb, s in zip(self._pc_vc_arbiters, state["pc_vc_arbiters"]):
@@ -317,8 +329,14 @@ class Router:
             matrix = self._pc_request_matrix(builder)
             if matrix:
                 pc_grants = self.pc_alloc.allocate(matrix)
+                counters = self.alloc_counters
+                counters["pc_requests"] += len(matrix)
+                counters["pc_grants"] += len(pc_grants)
         if sa_requests:
             sa_grants = self.switch_alloc.allocate(sa_requests)
+            counters = self.alloc_counters
+            counters["sa_requests"] += len(sa_requests)
+            counters["sa_grants"] += len(sa_grants)
         else:
             sa_grants = {}
         sa_winner_vc, sa_tail_outputs = self._commit_sa(
@@ -387,12 +405,18 @@ class Router:
                 ta = now()
                 pc_grants = self.pc_alloc.allocate(matrix)
                 prof.add_component("pc", self._prof_pc, now() - ta)
+                counters = self.alloc_counters
+                counters["pc_requests"] += len(matrix)
+                counters["pc_grants"] += len(pc_grants)
         t1 = now(); add("pc", t1 - t0); t0 = t1
 
         if sa_requests:
             ta = now()
             sa_grants = self.switch_alloc.allocate(sa_requests)
             prof.add_component("sa", self._prof_sa, now() - ta)
+            counters = self.alloc_counters
+            counters["sa_requests"] += len(sa_requests)
+            counters["sa_grants"] += len(sa_grants)
         else:
             sa_grants = {}
         sa_winner_vc, sa_tail_outputs = self._commit_sa(
@@ -1047,6 +1071,9 @@ class Router:
                                perf_counter() - ta)
         else:
             grants = self.vc_alloc.allocate(requests)
+        counters = self.alloc_counters
+        counters["vc_requests"] += len(requests)
+        counters["vc_grants"] += len(grants)
         for in_idx, out_idx in grants.items():
             p, v, flit, w = requesters[(in_idx, out_idx)]
             self.in_vcs[p][v].start_packet(flit.packet, flit.out_port, w)

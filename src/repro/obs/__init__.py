@@ -23,7 +23,13 @@ Instruments, all zero-overhead when unused:
   (cycles/sec, ETA, RSS) written to fsynced JSONL files per run or per
   sweep point (``--progress``/``--telemetry``);
 - :mod:`repro.obs.watch` — the live ASCII dashboard over a sweep's
-  telemetry directory (``repro watch``).
+  telemetry directory (``repro watch``);
+- :mod:`repro.obs.digest` — per-cycle hierarchical SHA-256 state
+  digests over ``state_dict()`` state, streamed as JSONL with a
+  whole-run fingerprint (``--digest``/``--digest-every``);
+- :mod:`repro.obs.lockstep` — differential co-simulation of two
+  networks with coarse-to-fine divergence bisection (``repro
+  diverge``).
 
 :mod:`repro.obs.report` summarizes a trace file (chain-length
 distribution, port contention, top-blocked packets) for ``repro
@@ -55,7 +61,12 @@ from repro.obs.profiler import (
     hotspots_from_dict,
     is_profile_dict,
 )
-from repro.obs.report import TraceSummary, format_report, summarize_trace
+from repro.obs.report import (
+    TraceSummary,
+    format_metrics_report,
+    format_report,
+    summarize_trace,
+)
 from repro.obs.sampler import SAMPLE_FIELDS, NetworkSampler
 from repro.obs.telemetry import (
     HEARTBEAT_SUFFIX,
@@ -128,6 +139,7 @@ __all__ = [
     "TraceSummary",
     "summarize_trace",
     "format_report",
+    "format_metrics_report",
     "SpanSet",
     "PacketSpan",
     "SPAN_COMPONENTS",
@@ -141,4 +153,52 @@ __all__ = [
     "format_diff",
     "ArtifactDiff",
     "DiffRow",
+    "DIGEST_SCHEMA",
+    "DigestRecorder",
+    "DigestStream",
+    "component_digest",
+    "digest_network",
+    "merkle_root",
+    "network_digests",
+    "network_states",
+    "read_digest_stream",
+    "state_diff",
+    "REPORT_SCHEMA",
+    "Divergence",
+    "LockstepSide",
+    "build_report",
+    "find_divergence",
+    "run_lockstep",
+    "run_vs_stream",
+    "side_factory",
 ]
+
+# digest/lockstep sit *above* the simulation core (they import the
+# checkpoint and runner layers, which themselves import repro.obs.trace),
+# so they load lazily to keep this package import-cycle-free.
+_LAZY_EXPORTS = {
+    name: "repro.obs.digest"
+    for name in (
+        "DIGEST_SCHEMA", "DigestRecorder", "DigestStream",
+        "component_digest", "digest_network", "merkle_root",
+        "network_digests", "network_states", "read_digest_stream",
+        "state_diff",
+    )
+}
+_LAZY_EXPORTS.update({
+    name: "repro.obs.lockstep"
+    for name in (
+        "REPORT_SCHEMA", "Divergence", "LockstepSide", "build_report",
+        "find_divergence", "run_lockstep", "run_vs_stream", "side_factory",
+    )
+})
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,6 +45,8 @@ class SimulationRun:
     metrics: Optional[Any] = None
     #: Optional RunTelemetry emitting heartbeats (obs.telemetry).
     telemetry: Optional[Any] = None
+    #: Optional DigestRecorder taking periodic state digests (obs.digest).
+    digest: Optional[Any] = None
     #: Resumable progress: the current phase and drain cycles executed.
     #: Restored from checkpoints; do not touch mid-run.
     phase: str = "init"
@@ -72,16 +74,33 @@ class SimulationRun:
             )
         return result
 
-    def _execute(self, checkpointer=None, kill_at=None):
-        net, inj = self.network, self.injector
-        inj.trace = net.trace  # packet creation shows up in traces
-        stats = net.stats
+    def prepare(self):
+        """One-time wiring before stepping: traces and the stats window.
+
+        Idempotent and safe on resumed runs (the window is only set
+        when entering from ``init``); called by :meth:`_execute` and by
+        the lockstep runner, which drives :meth:`step_cycle` directly.
+        """
+        self.injector.trace = self.network.trace  # packet creation traces
         if self.phase == "init":
-            stats.set_window(self.warmup, self.warmup + self.measure)
+            self.network.stats.set_window(
+                self.warmup, self.warmup + self.measure
+            )
             self.phase = "main"
-        total = self.warmup + self.measure
-        while self.phase == "main":
-            if net.cycle >= total:
+
+    def step_cycle(self, checkpointer=None, kill_at=None):
+        """Advance the run by at most one simulated cycle.
+
+        Returns True while the run has more cycles to execute, False
+        once it reaches ``done`` — so ``while run.step_cycle(): pass``
+        is exactly the phase schedule :meth:`_execute` runs, and a
+        lockstep driver can interleave two runs cycle by cycle.
+        """
+        net, inj = self.network, self.injector
+        if self.phase == "init":
+            self.prepare()
+        if self.phase == "main":
+            if net.cycle >= self.warmup + self.measure:
                 # Drain: stop injecting so in-flight measured packets can
                 # finish and contribute latency samples. Throughput is
                 # computed over the measurement window only, so unstable
@@ -89,18 +108,32 @@ class SimulationRun:
                 # full drain.
                 inj.enabled = False
                 self.phase = "drain"
-                break
-            for packet in inj.generate(net.cycle):
-                net.inject(packet)
-            net.step()
-            self._after_cycle(checkpointer, kill_at)
-        while self.phase == "drain":
+            else:
+                for packet in inj.generate(net.cycle):
+                    net.inject(packet)
+                net.step()
+                self._after_cycle(checkpointer, kill_at)
+                return True
+        if self.phase == "drain":
             if self.drain_cycles_done >= self.drain or self._quiescent(net):
                 self.phase = "done"
-                break
+                return False
             net.step()
             self.drain_cycles_done += 1
             self._after_cycle(checkpointer, kill_at)
+            return True
+        return False
+
+    def _execute(self, checkpointer=None, kill_at=None):
+        net, inj = self.network, self.injector
+        self.prepare()
+        stats = net.stats
+        while self.step_cycle(checkpointer, kill_at):
+            pass
+        if self.digest is not None:
+            # Final digest (even off-stride) + fingerprint trailer, so
+            # the stream always covers the end state of the run.
+            self.digest.finish(net, inj)
         # Report whether the drain actually completed: a False here on a
         # drain-requested run means the drain budget expired with flits
         # still in flight (expect censored latency samples).
@@ -144,6 +177,8 @@ class SimulationRun:
         """
         if self.telemetry is not None:
             self.telemetry.on_cycle(self.network.cycle, self.phase)
+        if self.digest is not None:
+            self.digest.on_cycle(self.network, self.injector, self.network.cycle)
         if checkpointer is not None:
             checkpointer.maybe_save(self)
         if kill_at is not None and self.network.cycle >= kill_at:
@@ -200,6 +235,9 @@ def run_simulation(
     checkpoint_every=None,
     resume_from=None,
     kill_at=None,
+    digest=None,
+    digest_path=None,
+    digest_every=None,
 ):
     """Build and execute one simulation; returns a :class:`SimResult`.
 
@@ -237,6 +275,12 @@ def run_simulation(
     :class:`~repro.checkpoint.SimulationKilled` once the given cycle
     completes (chaos testing). Checkpointing is refused when ``faults``
     or ``transport`` are attached (their state is not snapshotable).
+
+    State digests (repro.obs.digest): ``digest`` attaches a
+    :class:`~repro.obs.digest.DigestRecorder`; ``digest_path`` /
+    ``digest_every`` build one (JSONL stream, digest every N cycles —
+    default 64). The finished run's whole-run fingerprint is the
+    recorder's ``fingerprint``.
     """
     if seed is not None:
         config = dataclasses.replace(config, seed=seed)
@@ -257,6 +301,27 @@ def run_simulation(
             "measure": measure,
             "drain": drain,
         }
+    digester = digest
+    if digester is None and (digest_path is not None or digest_every is not None):
+        from repro.obs.digest import DigestRecorder
+
+        digester = DigestRecorder(every=digest_every or 64, path=digest_path)
+    if digester is not None:
+        # Header is informational (identifies the experiment a stream
+        # belongs to); lengths outside the checkpointable set are
+        # recorded as None rather than refused.
+        try:
+            header_lengths = lengths_spec(dist)
+        except CheckpointError:
+            header_lengths = None
+        digester.write_header(config, run_spec or {
+            "pattern": pattern,
+            "rate": rate,
+            "lengths": header_lengths,
+            "warmup": warmup,
+            "measure": measure,
+            "drain": drain,
+        })
     # Fault injection and the reliable transport are outside the fast
     # core's envelope; build_network falls back to the reference core
     # with a BackendFallbackWarning rather than failing or silently
@@ -283,7 +348,8 @@ def run_simulation(
     pat = build_pattern(pattern, net.num_terminals, traffic_rng)
     injector = BernoulliInjector(net.num_terminals, pat, rate, dist, traffic_rng)
     run = SimulationRun(net, injector, warmup, measure, drain,
-                        metrics=metrics, telemetry=telemetry)
+                        metrics=metrics, telemetry=telemetry,
+                        digest=digester)
     if resume_from is not None:
         payload = (
             resume_from
@@ -312,6 +378,9 @@ def resume_simulation(
     checkpoint_path=None,
     checkpoint_every=None,
     kill_at=None,
+    digest=None,
+    digest_path=None,
+    digest_every=None,
 ):
     """Resume a run from a checkpoint file and drive it to completion.
 
@@ -343,4 +412,7 @@ def resume_simulation(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         kill_at=kill_at,
+        digest=digest,
+        digest_path=digest_path,
+        digest_every=digest_every,
     )
