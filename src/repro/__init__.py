@@ -27,6 +27,15 @@ from repro.core.starvation import StarvationControl, StarvationMode
 from repro.core.cost_model import AllocatorCostModel, CostReport
 from repro.network.config import NetworkConfig, fbfly_config, mesh_config
 from repro.network.network import Network
+from repro.serve import (
+    ExperimentService,
+    JobSpec,
+    job_records,
+    load_result,
+    spec_for,
+    submit_spec,
+    wait_for,
+)
 from repro.sim.runner import resume_simulation, run_simulation
 from repro.sim.sweep import find_saturation, rate_sweep
 from repro.stats.summary import SimResult
@@ -53,4 +62,11 @@ __all__ = [
     "SimulationKilled",
     "load_checkpoint",
     "save_checkpoint",
+    "ExperimentService",
+    "JobSpec",
+    "job_records",
+    "load_result",
+    "spec_for",
+    "submit_spec",
+    "wait_for",
 ]

@@ -82,6 +82,22 @@ class BenchCase:
                                    backend="fast")
 
 
+@dataclass
+class ServeBenchCase(BenchCase):
+    """A dispatch-inclusive grid point: one job per rate through
+    :class:`repro.serve.ExperimentService` (fresh root, fork workers).
+
+    Its cycles/sec includes every service cost — journal fsyncs, worker
+    forks, heartbeat supervision, cache publication — so a regression
+    in the scheduler shows up on this trend line while the plain
+    simulation cases stay flat. ``benchmarks/test_serve_overhead.py``
+    is the corresponding hard gate.
+    """
+
+    rates: tuple = (0.1, 0.2, 0.3, 0.35)
+    workers: int = 2
+
+
 def default_suite(quick=False, scale=1.0):
     """The standardized suite: a topology x allocator x size grid.
 
@@ -114,6 +130,11 @@ def default_suite(quick=False, scale=1.0):
                  0.4, 200, 800),
             digest_every=64,
         ),
+        # Service-dispatch probe: the same mesh-4 grid point run as four
+        # jobs through the experiment service, tracking scheduler +
+        # journal + cache overhead as a trend line.
+        ServeBenchCase("serve-dispatch", "mesh", 4, "islip1", "disabled",
+                       0.3, *cycles(200, 800)),
     ]
     # Fast-core twins of the reference cases whose reference-vs-fast
     # ratio the roadmap tracks (recorded under "speedups"). Each twin
@@ -189,6 +210,68 @@ def run_case(case, repeats=3):
         "wall_seconds": wall,
         "repeats": repeats,
     }
+
+
+def run_serve_case(case, repeats=3):
+    """Measure one :class:`ServeBenchCase`: jobs/sec through the service.
+
+    Each repeat gets a fresh service root (no cache hits — every job
+    simulates), so the measured wall time is simulation plus the full
+    dispatch path. Reported cycles are the total simulated cycles
+    across the fleet; the warmup repeat is discarded as usual.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve import ExperimentService
+    from repro.serve.spec import spec_for
+
+    config = case.config()
+    samples = []
+    cycles_run = 0
+    for i in range(repeats + 1):
+        root = tempfile.mkdtemp(prefix="repro-bench-serve-")
+        try:
+            start = time.perf_counter()
+            with ExperimentService(root, workers=case.workers,
+                                   heartbeat_every=200) as svc:
+                for rate in case.rates:
+                    svc.submit(spec_for(
+                        config, rate=rate, label=f"bench{rate:g}",
+                        warmup=case.warmup, measure=case.measure, drain=0,
+                    ))
+                svc.run(once=True, max_seconds=600,
+                        install_signals=False)
+                records = svc.jobs
+            elapsed = time.perf_counter() - start
+            done = [r for r in records.values() if r.state == "done"]
+            if len(done) != len(case.rates):
+                raise RuntimeError(
+                    f"serve bench fleet incomplete: {len(done)}/"
+                    f"{len(case.rates)} done"
+                )
+            cycles_run = sum(
+                _artifact_cycles(root, rec) for rec in done
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        if i == 0:
+            continue  # warmup repeat: imports, fork machinery, caches
+        samples.append(elapsed)
+    wall = statistics.median(samples)
+    return {
+        "cycles_per_sec": cycles_run / wall if wall > 0 else 0.0,
+        "cycles": cycles_run,
+        "wall_seconds": wall,
+        "repeats": repeats,
+    }
+
+
+def _artifact_cycles(root, record):
+    """cycles_run of one done job, read from its cached summary."""
+    from repro.serve import load_result
+
+    return load_result(root, record).cycles_run
 
 
 def host_fingerprint():
@@ -275,6 +358,11 @@ def run_suite(suite=None, quick=False, scale=1.0, repeats=3,
 
     for case in suite:
         if case.name in skip:
+            continue
+        if isinstance(case, ServeBenchCase):
+            if progress is not None:
+                progress(case.name)
+            record(case, run_serve_case(case, repeats=repeats))
             continue
         twin = by_name.get(case.name + "-fast")
         if twin is not None and case.backend == "reference":

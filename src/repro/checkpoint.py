@@ -275,6 +275,26 @@ def lengths_from_spec(spec):
     raise CheckpointError(f"unknown length distribution kind {kind!r}")
 
 
+def canonical_run_spec(pattern, rate, lengths, warmup, measure, drain):
+    """The canonical run-spec dict covered by :func:`config_hash`.
+
+    One layout shared by every consumer of the hash: checkpoint files,
+    resume verification, and the experiment service's content-addressed
+    result cache (``repro.serve``) — so a cache entry produced by the
+    service is keyed identically to a checkpoint of the same
+    experiment. ``lengths`` may be a distribution object or an
+    already-serialized spec dict.
+    """
+    return {
+        "pattern": pattern,
+        "rate": rate,
+        "lengths": lengths if isinstance(lengths, dict) else lengths_spec(lengths),
+        "warmup": warmup,
+        "measure": measure,
+        "drain": drain,
+    }
+
+
 def config_hash(config, run_spec):
     """sha256 over the canonical JSON of (NetworkConfig, run spec).
 

@@ -28,6 +28,10 @@ Examples::
     python -m repro report prof.json --collapsed stacks.txt
     python -m repro bench --quick
     python -m repro bench --quick --compare benchmarks/baselines/bench_trend.json
+    python -m repro serve /tmp/svc --workers 4 &
+    python -m repro serve /tmp/svc --submit-sweep 0.1 0.2 0.3 --mesh-k 4
+    python -m repro serve /tmp/svc --submit examples/jobspec.json
+    python -m repro serve /tmp/svc --status
 """
 
 import argparse
@@ -954,6 +958,102 @@ def cmd_cost(args, out):
     return 0
 
 
+def cmd_serve(args, out):
+    from repro.serve import (
+        ExperimentService,
+        JobSpec,
+        ServiceLockError,
+        scan_service,
+        spec_for,
+        submit_spec,
+    )
+    from repro.serve.backoff import RetryPolicy
+
+    if args.status:
+        status = scan_service(args.root)
+        if args.json:
+            json.dump(status, out, indent=2, sort_keys=True)
+            out.write("\n")
+        else:
+            jobs = status["jobs"]
+            states = ", ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+            out.write(f"jobs ({status['total']}): {states or 'none'}\n")
+            out.write(f"spooled submissions: {status['spool']}\n")
+            out.write(f"retries recorded: {status['retries']}\n")
+            for diag in status["dead"]:
+                out.write(f"dead: {diag['label'] or '(unlabelled)'}"
+                          f" after {diag['attempts']} attempts:"
+                          f" {diag['error']}\n")
+            server = status["server"]
+            if server:
+                cache = server.get("cache", {})
+                rate = cache.get("hit_rate")
+                out.write(
+                    f"last server snapshot: pid {server.get('pid')},"
+                    f" {len(server.get('workers', []))} worker(s),"
+                    f" cache hits {cache.get('hits', 0)}"
+                    f"/{cache.get('hits', 0) + cache.get('misses', 0)}"
+                    + (f" ({100 * rate:.0f}%)" if rate is not None else "")
+                    + "\n"
+                )
+        return 0
+
+    if args.submit:
+        with open(args.submit) as fh:
+            payload = json.load(fh)
+        spec = JobSpec.from_dict(payload.get("spec", payload))
+        job_id = submit_spec(args.root, spec)
+        out.write(f"{job_id}\n")
+        return 0
+
+    if args.submit_sweep is not None:
+        config = _config_from(args)
+        lengths = _lengths_from(args)
+        for rate in args.submit_sweep:
+            spec = spec_for(
+                config, pattern=args.pattern, rate=rate, lengths=lengths,
+                warmup=args.warmup, measure=args.measure, drain=args.drain,
+                label=args.label or config.topology,
+            )
+            job_id = submit_spec(args.root, spec)
+            out.write(f"{job_id}\n")
+        return 0
+
+    policy = RetryPolicy(base=args.retry_base) if args.retry_base \
+        else None
+    service = ExperimentService(
+        args.root,
+        workers=args.workers,
+        max_retries=args.max_retries,
+        lease_timeout=args.lease_timeout,
+        heartbeat_every=args.heartbeat_every,
+        **({"retry_policy": policy} if policy else {}),
+    )
+    try:
+        service.recover()
+    except ServiceLockError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    try:
+        status = service.run(poll=args.poll, once=args.once)
+    finally:
+        service.close()
+    if args.json:
+        json.dump(status, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        jobs = status["jobs"]
+        states = ", ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+        cache = status["cache"]
+        out.write(f"served: {states or 'nothing'}; cache hits "
+                  f"{cache['hits']}/{cache['hits'] + cache['misses']}\n")
+    from repro.serve import job_records
+
+    dead = sum(1 for rec in job_records(args.root).values()
+               if rec.state == "dead")
+    return 1 if dead else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1189,6 +1289,52 @@ def build_parser():
     p = sub.add_parser("cost", help="Section 4.9 allocator cost model")
     p.add_argument("--radix", type=int, default=5)
     p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser(
+        "serve",
+        help="crash-tolerant experiment service over a root directory",
+        description="Run the experiment service: a durable job queue, a "
+                    "supervised worker pool, and a content-addressed "
+                    "result cache under ROOT. Kill it (even -9) and "
+                    "restart: the queue completes from the journal "
+                    "without re-simulating cached work. SIGTERM drains "
+                    "gracefully. With --submit/--submit-sweep/--status "
+                    "the command acts as a client instead.",
+    )
+    p.add_argument("root", help="service root directory (created if absent)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="max concurrent worker processes")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="extra attempts before a job is dead-lettered")
+    p.add_argument("--lease-timeout", type=float, default=30.0,
+                   help="seconds without a heartbeat before a worker is "
+                        "presumed dead and its job re-queued")
+    p.add_argument("--retry-base", type=float, default=None,
+                   help="base seconds of the retry backoff schedule")
+    p.add_argument("--heartbeat-every", type=int, default=1000,
+                   help="worker heartbeat period in simulated cycles")
+    p.add_argument("--poll", type=float, default=0.05,
+                   help="scheduler poll period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="batch mode: exit once every known job is "
+                        "terminal and the spool is empty")
+    p.add_argument("--status", action="store_true",
+                   help="print queue/cache status from the journal "
+                        "(no server needed) and exit")
+    p.add_argument("--submit", default=None, metavar="FILE",
+                   help="spool one job spec JSON file and exit "
+                        "(see examples/jobspec.json)")
+    p.add_argument("--submit-sweep", type=float, nargs="+", default=None,
+                   metavar="RATE",
+                   help="spool one job per rate built from the network/"
+                        "traffic flags, and exit")
+    p.add_argument("--label", default="",
+                   help="label for --submit-sweep jobs")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable status output")
+    _add_network_args(p)
+    _add_traffic_args(p)
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

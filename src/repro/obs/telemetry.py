@@ -282,6 +282,22 @@ def init_telemetry_dir(directory, points, walltime=time.time):
     return manifest
 
 
+def heartbeat_age(path, now=None):
+    """Seconds since ``path`` was last appended to (None if absent).
+
+    The age of a heartbeat file's mtime is the liveness signal lease
+    supervision runs on: every record is flushed+fsynced on write, so a
+    fresh mtime means the writer was alive that recently, and a stale
+    mtime means it is wedged or dead — even SIGKILL cannot forge a
+    newer timestamp. Uses the filesystem clock (``time.time`` domain).
+    """
+    try:
+        mtime = os.stat(path).st_mtime
+    except OSError:
+        return None
+    return max(0.0, (time.time() if now is None else now) - mtime)
+
+
 def read_heartbeats(path):
     """Parse one heartbeat file; a torn final line is discarded.
 

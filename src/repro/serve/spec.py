@@ -1,0 +1,106 @@
+"""Job specifications for the experiment service.
+
+A :class:`JobSpec` is one simulation request: a full ``NetworkConfig``
+dict plus the run spec (pattern, rate, length distribution, phase
+schedule) in exactly the canonical layout the checkpoint machinery
+hashes. Its :meth:`spec_hash` therefore equals the ``config_hash`` a
+checkpoint of the same experiment would carry — the content address the
+result cache dedups on.
+
+Fields outside the hash (``priority``, ``label``, ``watchdog_window``,
+``chaos``) steer *how* the job is executed, never *what* it computes:
+two specs that differ only in those fields are the same experiment and
+share one cache entry. ``chaos`` is the test/ops fault hook (worker
+self-SIGKILL, wedge sleeps, mid-run kills) used by the crash-tolerance
+suite; production submissions leave it empty.
+"""
+
+import dataclasses
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.checkpoint import canonical_run_spec, config_hash
+from repro.network.config import NetworkConfig
+
+
+def new_job_id():
+    """A fresh collision-resistant job identifier."""
+    return "j" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class JobSpec:
+    """One run request: the experiment (hashed) plus execution knobs."""
+
+    #: ``NetworkConfig.to_dict()`` payload.
+    config: Dict[str, Any]
+    pattern: str = "uniform"
+    rate: float = 0.2
+    #: Packet-length distribution spec (``checkpoint.lengths_spec``).
+    lengths: Dict[str, Any] = field(
+        default_factory=lambda: {"kind": "fixed", "length": 1}
+    )
+    warmup: int = 1000
+    measure: int = 3000
+    drain: int = 2000
+    # --- execution knobs (excluded from the hash) ---
+    priority: int = 0
+    label: str = ""
+    #: Strict HangWatchdog window armed inside the worker (cycles).
+    watchdog_window: Optional[int] = None
+    #: Deterministic fault hooks for crash-tolerance tests:
+    #: ``sigkill_attempts`` (self-SIGKILL at start of attempts <= N),
+    #: ``kill_at`` + ``kill_attempts`` (SimulationKilled at a cycle),
+    #: ``sleep`` + ``sleep_attempts`` (wedge before heartbeating).
+    chaos: Dict[str, Any] = field(default_factory=dict)
+
+    def run_spec(self):
+        """The canonical run-spec dict shared with checkpoints."""
+        return canonical_run_spec(
+            self.pattern, self.rate, dict(self.lengths),
+            self.warmup, self.measure, self.drain,
+        )
+
+    def spec_hash(self):
+        """Content address of this experiment (== checkpoint hash).
+
+        Raises ``ValueError`` on an invalid config — callers admitting
+        untrusted specs dead-letter on that instead of crashing.
+        """
+        return config_hash(NetworkConfig.from_dict(self.config),
+                           self.run_spec())
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown job spec keys: {sorted(unknown)}")
+        if "config" not in data:
+            raise ValueError("job spec needs a 'config' dict")
+        return cls(**data)
+
+
+def spec_for(config, pattern="uniform", rate=0.2, lengths=None,
+             warmup=1000, measure=3000, drain=2000, **knobs):
+    """Build a JobSpec from a ``NetworkConfig`` (or its dict).
+
+    ``lengths`` may be a distribution object, a spec dict, or None
+    (single-flit). Extra keyword arguments are the execution knobs
+    (``priority``, ``label``, ``watchdog_window``, ``chaos``).
+    """
+    from repro.checkpoint import lengths_spec
+
+    if isinstance(config, NetworkConfig):
+        config = config.to_dict()
+    if lengths is None:
+        lengths = {"kind": "fixed", "length": 1}
+    elif not isinstance(lengths, dict):
+        lengths = lengths_spec(lengths)
+    return JobSpec(config=dict(config), pattern=pattern, rate=rate,
+                   lengths=dict(lengths), warmup=warmup, measure=measure,
+                   drain=drain, **knobs)

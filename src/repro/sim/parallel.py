@@ -10,6 +10,11 @@ own future with an optional ``timeout``, and a point that crashes or
 times out is retried (``retries`` attempts, default one) before being
 recorded in the result's ``errors`` list. A bad point costs that point,
 not the sweep — the caller still receives every result that succeeded.
+Retries wait out a deterministic jittered exponential backoff (seeded
+from the point identity; see :mod:`repro.serve.backoff`) and never
+overlap the attempt they replace: after a timeout or a hard worker
+death, the pool is recycled with every worker process confirmed dead
+before the retry is submitted.
 
 Sweeps are also crash-tolerant at *sweep* granularity: pass
 ``journal_dir`` and every completed point is appended to an
@@ -26,15 +31,17 @@ import dataclasses
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.obs.telemetry import (
     RunTelemetry,
     init_telemetry_dir,
     point_heartbeat_path,
 )
+from repro.serve.backoff import DEFAULT_RETRY_POLICY
 from repro.sim.runner import run_simulation
 from repro.stats.summary import SimResult
 
@@ -77,13 +84,19 @@ class PointTiming:
     ``wall_time`` is the worker-measured seconds for the whole
     ``run_simulation`` call; ``worker`` is the worker process id (the
     parent's pid for inline runs). Points replayed from a pre-timing
-    journal carry ``None`` for both.
+    journal carry ``None`` for both. ``attempts`` counts executions
+    including the successful one, and ``retry_delays`` the backoff
+    seconds slept before each retry (empty for first-try successes) —
+    deterministic per point, so a resumed sweep reports the same
+    timeline.
     """
 
     label: str
     rate: float
     wall_time: Optional[float] = None
     worker: Optional[int] = None
+    attempts: int = 1
+    retry_delays: List[float] = field(default_factory=list)
 
 
 def _timing_rows(timings):
@@ -238,6 +251,8 @@ class SweepJournal:
         if timing is not None:
             entry["wall_time"] = timing.wall_time
             entry["worker"] = timing.worker
+            entry["attempts"] = timing.attempts
+            entry["retry_delays"] = timing.retry_delays
         with open(self.path, "a") as fh:
             fh.write(json.dumps(entry, separators=(",", ":")))
             fh.write("\n")
@@ -291,7 +306,36 @@ def _describe(exc):
     return f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
 
 
-def _execute(points, workers, timeout, retries, on_result=None):
+def _new_pool(workers, mp_context):
+    if mp_context is not None:
+        return ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=mp_context)
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _drain_pool(pool):
+    """Shut ``pool`` down and confirm every worker process is dead.
+
+    Escalates terminate → SIGKILL → blocking join, so after this
+    returns no orphaned worker can still be executing a point.
+    ``pool._processes`` is private but has been the stable home of the
+    worker ``Process`` objects since 3.7; fall back to a plain
+    shutdown if it ever moves.
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(2.0)
+        if proc.is_alive():
+            proc.kill()  # SIGKILL cannot be caught
+            proc.join()
+
+
+def _execute(points, workers, timeout, retries, on_result=None,
+             retry_policy=None, mp_context=None, sleep=time.sleep):
     """Run every point; returns (outcomes aligned with ``points``, errors).
 
     ``outcomes[i]`` is ``(label, rate, SimResult, PointTiming)`` or
@@ -301,25 +345,43 @@ def _execute(points, workers, timeout, retries, on_result=None):
 
     ``workers=0`` runs inline (no timeout enforcement — there is no
     other process to bound). Pool mode submits one future per point;
-    ``timeout`` bounds the wait for each point's result. A timed-out
-    worker process may linger until it finishes its run, but the sweep
-    moves on without it.
+    ``timeout`` bounds the wait for each point's result.
+
+    Retries wait out a deterministic jittered exponential backoff
+    (seeded from the point's identity, so reruns reproduce the exact
+    timeline) rather than hammering the pool immediately. Before any
+    retry runs after a timeout or a pool-breaking worker death, the
+    pool is *recycled*: shut down with every worker process confirmed
+    dead (:func:`_drain_pool`), then rebuilt — so a timed-out attempt
+    can never still be executing while its retry runs, and a retry can
+    never queue behind the very worker that wedged. Recycling is safe
+    at that moment because retries only start once the initial
+    collection pass has consumed every other future.
     """
     outcomes = [None] * len(points)
     errors = []
+    policy = retry_policy if retry_policy is not None else \
+        DEFAULT_RETRY_POLICY
 
-    def success(i, point, outcome):
+    def success(i, point, outcome, attempts=1, delays=()):
+        outcome[3].attempts = attempts
+        outcome[3].retry_delays = list(delays)
         outcomes[i] = outcome
         if on_result is not None:
             on_result(i, point, outcome)
 
     if workers == 0:
         for i, point in enumerate(points):
-            attempts, exc = 0, None
+            key = _point_key(point, i)
+            attempts, exc, delays = 0, None, []
             while attempts <= retries:
+                if attempts:  # back off before every retry
+                    delay = policy.delay(key, attempts)
+                    delays.append(delay)
+                    sleep(delay)
                 attempts += 1
                 try:
-                    success(i, point, _run_point(point))
+                    success(i, point, _run_point(point), attempts, delays)
                     exc = None
                     break
                 except Exception as err:  # noqa: BLE001 - per-point record
@@ -330,7 +392,11 @@ def _execute(points, workers, timeout, retries, on_result=None):
                                attempts)
                 )
         return outcomes, errors
-    pool = ProcessPoolExecutor(max_workers=workers)
+    pool = _new_pool(workers, mp_context)
+    # Set when an attempt timed out (its worker may still be running
+    # the point) or the pool broke (a worker died hard): the next
+    # retry must not share a pool with either.
+    needs_recycle = False
     try:
         futures = [
             (i, point, pool.submit(_run_point, point))
@@ -342,16 +408,33 @@ def _execute(points, workers, timeout, retries, on_result=None):
                 success(i, point, fut.result(timeout=timeout))
             except Exception as exc:  # noqa: BLE001 - includes TimeoutError
                 fut.cancel()
+                if isinstance(exc, (FutureTimeoutError, TimeoutError,
+                                    BrokenExecutor)):
+                    needs_recycle = True
                 failed.append((i, point, 1, exc))
         for i, point, attempts, exc in failed:
+            key = _point_key(point, i)
+            delays = []
             while attempts <= retries:
+                delay = policy.delay(key, attempts)
+                delays.append(delay)
+                sleep(delay)
+                if needs_recycle:
+                    _drain_pool(pool)
+                    pool = _new_pool(workers, mp_context)
+                    needs_recycle = False
                 attempts += 1
                 try:
                     fut = pool.submit(_run_point, point)
-                    success(i, point, fut.result(timeout=timeout))
+                    success(i, point, fut.result(timeout=timeout),
+                            attempts, delays)
                     exc = None
                     break
                 except Exception as err:  # noqa: BLE001
+                    fut.cancel()
+                    if isinstance(err, (FutureTimeoutError, TimeoutError,
+                                        BrokenExecutor)):
+                        needs_recycle = True
                     exc = err
             if exc is not None:
                 errors.append(
@@ -359,13 +442,18 @@ def _execute(points, workers, timeout, retries, on_result=None):
                                attempts)
                 )
     finally:
-        # wait=False so a hung worker cannot wedge the sweep's exit.
-        pool.shutdown(wait=False, cancel_futures=True)
+        if needs_recycle:
+            # Leftover orphans from the final attempt: confirm them
+            # dead rather than letting them linger past the sweep.
+            _drain_pool(pool)
+        else:
+            # wait=False so a hung worker cannot wedge the sweep's exit.
+            pool.shutdown(wait=False, cancel_futures=True)
     return outcomes, errors
 
 
 def _execute_journaled(points, workers, timeout, retries, journal_dir,
-                       resume):
+                       resume, retry_policy=None, mp_context=None):
     """Run points, replaying finished ones from the journal on resume.
 
     Returns (outcomes aligned with ``points``, errors). Without a
@@ -374,7 +462,8 @@ def _execute_journaled(points, workers, timeout, retries, journal_dir,
     if journal_dir is None:
         if resume:
             raise ValueError("resume=True requires journal_dir")
-        return _execute(points, workers, timeout, retries)
+        return _execute(points, workers, timeout, retries,
+                        retry_policy=retry_policy, mp_context=mp_context)
     journal = SweepJournal(journal_dir)
     keys = [_point_key(point, i) for i, point in enumerate(points)]
     cached = {}
@@ -391,6 +480,8 @@ def _execute_journaled(points, workers, timeout, retries, journal_dir,
                         points[i].label, entry["rate"],
                         wall_time=entry.get("wall_time"),
                         worker=entry.get("worker"),
+                        attempts=entry.get("attempts", 1),
+                        retry_delays=entry.get("retry_delays") or [],
                     ),
                 )
     else:
@@ -406,7 +497,8 @@ def _execute_journaled(points, workers, timeout, retries, journal_dir,
 
     raw, errors = _execute(
         [point for _, point in pending], workers, timeout, retries,
-        on_result=on_result,
+        on_result=on_result, retry_policy=retry_policy,
+        mp_context=mp_context,
     )
     outcomes = [None] * len(points)
     for i, outcome in cached.items():
@@ -436,6 +528,7 @@ def parallel_sweep(config, rates, workers: Optional[int] = None,
                    watchdog_window: Optional[int] = None,
                    telemetry_dir: Optional[str] = None,
                    heartbeat_every: int = 1000,
+                   retry_policy=None, mp_context=None,
                    **run_kwargs):
     """Run one simulation per rate across a process pool.
 
@@ -444,9 +537,16 @@ def parallel_sweep(config, rates, workers: Optional[int] = None,
     attempt. ``workers=None`` lets the pool pick; ``workers=0`` runs
     inline (useful under debuggers and on platforms without fork).
     ``timeout`` bounds the wait per point in pool mode; ``retries`` is
-    the extra attempts a crashed or timed-out point gets.
-    ``profile_epoch`` enables per-run pipeline profiling (see
-    SweepPoint).
+    the extra attempts a crashed or timed-out point gets, each waiting
+    out a deterministic jittered exponential backoff (``retry_policy``,
+    a :class:`repro.serve.backoff.RetryPolicy`; default
+    ``DEFAULT_RETRY_POLICY``) and recorded in the point's
+    :class:`PointTiming`. A retry never overlaps its predecessor: after
+    a timeout or hard worker death the pool is recycled with every
+    worker confirmed dead first. ``mp_context`` picks the
+    multiprocessing start method (tests use ``fork`` so monkeypatches
+    reach workers). ``profile_epoch`` enables per-run pipeline
+    profiling (see SweepPoint).
 
     ``journal_dir`` makes the sweep crash-tolerant: each completed
     point is appended to ``journal_dir/journal.jsonl`` as it finishes,
@@ -466,7 +566,8 @@ def parallel_sweep(config, rates, workers: Optional[int] = None,
     ]
     _arm_telemetry(points, telemetry_dir, heartbeat_every)
     outcomes, errors = _execute_journaled(
-        points, workers, timeout, retries, journal_dir, resume
+        points, workers, timeout, retries, journal_dir, resume,
+        retry_policy=retry_policy, mp_context=mp_context,
     )
     live = [o for o in outcomes if o is not None]
     return SweepResults(
@@ -481,6 +582,7 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
                     watchdog_window: Optional[int] = None,
                     telemetry_dir: Optional[str] = None,
                     heartbeat_every: int = 1000,
+                    retry_policy=None, mp_context=None,
                     **run_kwargs):
     """Sweep a {label: NetworkConfig} matrix of configurations.
 
@@ -488,8 +590,9 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
     whose ``errors`` records per-point failures; a failed point leaves
     a gap in its label's series rather than killing the sweep. All
     points across all configurations share one pool so the pool stays
-    saturated. ``journal_dir``/``resume``/``watchdog_window`` and
-    ``telemetry_dir``/``heartbeat_every`` behave as in
+    saturated. ``journal_dir``/``resume``/``watchdog_window``,
+    ``telemetry_dir``/``heartbeat_every`` and
+    ``retry_policy``/``mp_context`` behave as in
     :func:`parallel_sweep`.
     """
     points = []
@@ -501,7 +604,8 @@ def parallel_matrix(configs, rates, workers: Optional[int] = None,
             )
     _arm_telemetry(points, telemetry_dir, heartbeat_every)
     raw, errors = _execute_journaled(
-        points, workers, timeout, retries, journal_dir, resume
+        points, workers, timeout, retries, journal_dir, resume,
+        retry_policy=retry_policy, mp_context=mp_context,
     )
     out = MatrixResults({label: [] for label in configs}, errors)
     for outcome in raw:

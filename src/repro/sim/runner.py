@@ -19,6 +19,7 @@ from repro.checkpoint import (
     Checkpointer,
     CheckpointError,
     SimulationKilled,
+    canonical_run_spec,
     lengths_from_spec,
     lengths_spec,
     load_checkpoint,
@@ -293,14 +294,8 @@ def run_simulation(
                 "checkpoint/resume does not support fault injection or a "
                 "reliable transport (their state is not snapshotable)"
             )
-        run_spec = {
-            "pattern": pattern,
-            "rate": rate,
-            "lengths": lengths_spec(dist),
-            "warmup": warmup,
-            "measure": measure,
-            "drain": drain,
-        }
+        run_spec = canonical_run_spec(pattern, rate, dist, warmup, measure,
+                                      drain)
     digester = digest
     if digester is None and (digest_path is not None or digest_every is not None):
         from repro.obs.digest import DigestRecorder

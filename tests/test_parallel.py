@@ -283,3 +283,265 @@ class TestSweepTelemetry:
             for i in range(2)
         ]
         assert all(f["ev"] == "finish" for f in finishes)
+
+
+class TestRetryBackoff:
+    """Deterministic backoff between per-point retry attempts."""
+
+    FAST = None  # initialised lazily to keep import side-effects local
+
+    @staticmethod
+    def policy():
+        from repro.serve.backoff import RetryPolicy
+
+        return RetryPolicy(base=0.001, factor=2.0, cap=0.01, jitter=0.5)
+
+    def test_retry_records_attempts_and_delays(self, monkeypatch):
+        real_run_point = parallel_mod._run_point
+        flaky = {"failed": False}
+
+        def flaky_run_point(point):
+            if not flaky["failed"]:
+                flaky["failed"] = True
+                raise TimeoutError("boom")
+            return real_run_point(point)
+
+        monkeypatch.setattr(parallel_mod, "_run_point", flaky_run_point)
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, retries=1,
+                                 retry_policy=self.policy(), **RUN)
+        assert results.complete
+        timing = results.timings[0]
+        assert timing.attempts == 2
+        assert len(timing.retry_delays) == 1
+        # Deterministic: the recorded delay IS the policy's schedule for
+        # this point's identity.
+        expected = self.policy().delay("|0|0.05", 1)
+        assert timing.retry_delays[0] == expected
+
+    def test_first_try_success_has_no_delays(self):
+        results = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, **RUN)
+        assert results.timings[0].attempts == 1
+        assert results.timings[0].retry_delays == []
+
+    def test_backoff_actually_waits(self, monkeypatch):
+        from repro.serve.backoff import RetryPolicy
+
+        slept = []
+        monkeypatch.setattr(parallel_mod, "_run_point",
+                            _fail_n_times_factory(2))
+        parallel_mod._execute(
+            [parallel_mod.SweepPoint(mesh_config(mesh_k=4), 0.05, dict(RUN))],
+            workers=0, timeout=None, retries=3,
+            retry_policy=RetryPolicy(base=0.5, factor=2.0, cap=10.0,
+                                     jitter=0.0),
+            sleep=slept.append,
+        )
+        # Exponential: 0.5 then 1.0 before the two retries that ran.
+        assert slept == [0.5, 1.0]
+
+    def test_journal_records_retry_history(self, tmp_path, monkeypatch):
+        from repro.sim.parallel import SweepJournal
+
+        real_run_point = parallel_mod._run_point
+        flaky = {"failed": False}
+
+        def flaky_run_point(point):
+            if not flaky["failed"]:
+                flaky["failed"] = True
+                raise RuntimeError("transient")
+            return real_run_point(point)
+
+        monkeypatch.setattr(parallel_mod, "_run_point", flaky_run_point)
+        sweep_dir = str(tmp_path / "sweep")
+        parallel_sweep(mesh_config(mesh_k=4), rates=[0.05], workers=0,
+                       retries=1, retry_policy=self.policy(),
+                       journal_dir=sweep_dir, **RUN)
+        entry = next(iter(SweepJournal(sweep_dir).completed().values()))
+        assert entry["attempts"] == 2
+        assert len(entry["retry_delays"]) == 1
+        resumed = parallel_sweep(mesh_config(mesh_k=4), rates=[0.05],
+                                 workers=0, journal_dir=sweep_dir,
+                                 resume=True, **RUN)
+        assert resumed.timings[0].attempts == 2
+        assert resumed.timings[0].retry_delays == entry["retry_delays"]
+
+
+def _fail_n_times_factory(n):
+    state = {"left": n}
+
+    def run_point(point):
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise RuntimeError("transient")
+        import os
+        import time
+
+        return (point.label, point.rate, None,
+                PointTiming(point.label, point.rate,
+                            wall_time=0.0, worker=os.getpid()))
+
+    return run_point
+
+
+def _sigkill_once_run_point(point):
+    """First execution per label: hard death. After: the real thing.
+
+    The sentinel directory rides in ``run_kwargs`` (popped before the
+    real run) so the flag survives the killed worker process.
+    """
+    import os
+    import signal
+
+    kwargs = dict(point.run_kwargs)
+    sentinel = kwargs.pop("_sentinel_dir")
+    point = parallel_mod.SweepPoint(
+        point.config, point.rate, kwargs, point.label,
+        point.profile_epoch, point.watchdog_window,
+        point.telemetry_path, point.heartbeat_every,
+    )
+    flag = os.path.join(sentinel, f"killed-{point.label}-{point.rate!r}")
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+    return parallel_mod._run_point_real(point)
+
+
+def _wedge_once_run_point(point):
+    """First execution per point: record pid and wedge forever."""
+    import os
+    import time
+
+    kwargs = dict(point.run_kwargs)
+    sentinel = kwargs.pop("_sentinel_dir")
+    point = parallel_mod.SweepPoint(
+        point.config, point.rate, kwargs, point.label,
+        point.profile_epoch, point.watchdog_window,
+        point.telemetry_path, point.heartbeat_every,
+    )
+    flag = os.path.join(sentinel, f"wedged-{point.label}-{point.rate!r}")
+    if not os.path.exists(flag):
+        with open(flag, "w") as fh:
+            fh.write(str(os.getpid()))
+            fh.flush()
+            os.fsync(fh.fileno())
+        time.sleep(600)
+    return parallel_mod._run_point_real(point)
+
+
+class TestHardWorkerDeath:
+    """SIGKILLed and wedged workers: the orphaned-work hazard."""
+
+    @staticmethod
+    def fork_ctx():
+        import multiprocessing
+
+        return multiprocessing.get_context("fork")
+
+    @staticmethod
+    def policy():
+        from repro.serve.backoff import RetryPolicy
+
+        return RetryPolicy(base=0.001, factor=2.0, cap=0.01, jitter=0.0)
+
+    def test_sigkilled_worker_point_retries_and_succeeds(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_point_real",
+                            parallel_mod._run_point, raising=False)
+        monkeypatch.setattr(parallel_mod, "_run_point",
+                            _sigkill_once_run_point)
+        run = dict(RUN, _sentinel_dir=str(tmp_path))
+        results = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05], workers=1, retries=1,
+            retry_policy=self.policy(), mp_context=self.fork_ctx(),
+            label="hard", **run,
+        )
+        assert results.complete
+        assert results.timings[0].attempts == 2
+        assert len(results.timings[0].retry_delays) == 1
+
+    def test_sigkill_surfaces_point_error_when_retries_exhausted(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_point_real",
+                            parallel_mod._run_point, raising=False)
+        monkeypatch.setattr(parallel_mod, "_run_point",
+                            _sigkill_once_run_point)
+        run = dict(RUN, _sentinel_dir=str(tmp_path))
+        results = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05], workers=1, retries=0,
+            retry_policy=self.policy(), mp_context=self.fork_ctx(),
+            label="hard", **run,
+        )
+        assert list(results) == []
+        assert len(results.errors) == 1
+        err = results.errors[0]
+        assert err.attempts == 1
+        assert "Broken" in err.error or "abruptly" in err.error
+
+    def test_journal_survives_sigkill_and_resume_completes(
+            self, tmp_path, monkeypatch):
+        from repro.sim.parallel import SweepJournal
+
+        monkeypatch.setattr(parallel_mod, "_run_point_real",
+                            parallel_mod._run_point, raising=False)
+        monkeypatch.setattr(parallel_mod, "_run_point",
+                            _sigkill_once_run_point)
+        import os
+
+        sweep_dir = str(tmp_path / "sweep")
+        run = dict(RUN, _sentinel_dir=str(tmp_path))
+        # Pre-arm 0.05's sentinel so only the 0.1 attempt SIGKILLs
+        # itself: 0.05 completes and is journaled, 0.1 is lost (with
+        # retries=0) but the sweep survives and the journal stays
+        # intact.
+        with open(os.path.join(str(tmp_path), "killed-j-0.05"), "w"):
+            pass
+        first = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05, 0.1], workers=1,
+            retries=0, retry_policy=self.policy(),
+            mp_context=self.fork_ctx(), journal_dir=sweep_dir,
+            label="j", **run,
+        )
+        assert not first.complete
+        done = SweepJournal(sweep_dir).completed()
+        assert len(done) == 1
+        # Resume: only the missing point re-runs; the sweep completes.
+        monkeypatch.setattr(parallel_mod, "_run_point",
+                            parallel_mod._run_point_real)
+        resumed = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05, 0.1], workers=1,
+            journal_dir=sweep_dir, resume=True, label="j", **RUN,
+        )
+        assert resumed.complete
+        assert [r for r, _ in resumed] == [0.05, 0.1]
+        assert len(SweepJournal(sweep_dir).completed()) == 2
+
+    def test_timed_out_worker_is_dead_before_retry_runs(
+            self, tmp_path, monkeypatch):
+        """The orphaned-work fix: recycle kills the wedged worker.
+
+        Without the recycle, the retry would queue behind (or run
+        concurrently with) the first attempt's still-running worker.
+        """
+        import os
+
+        monkeypatch.setattr(parallel_mod, "_run_point_real",
+                            parallel_mod._run_point, raising=False)
+        monkeypatch.setattr(parallel_mod, "_run_point",
+                            _wedge_once_run_point)
+        run = dict(RUN, _sentinel_dir=str(tmp_path))
+        results = parallel_sweep(
+            mesh_config(mesh_k=4), rates=[0.05], workers=1, retries=1,
+            timeout=2.0, retry_policy=self.policy(),
+            mp_context=self.fork_ctx(), label="wedge", **run,
+        )
+        assert results.complete
+        assert results.timings[0].attempts == 2
+        # The wedged first attempt's process must be confirmed dead.
+        flag = os.path.join(str(tmp_path), "wedged-wedge-0.05")
+        with open(flag) as fh:
+            orphan_pid = int(fh.read())
+        with pytest.raises(ProcessLookupError):
+            os.kill(orphan_pid, 0)

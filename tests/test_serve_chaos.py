@@ -1,0 +1,202 @@
+"""End-to-end crash-tolerance acceptance tests for ``repro serve``.
+
+The contract under test: with >= 12 jobs in flight, SIGKILL any single
+worker — and, separately, SIGKILL the whole server and restart it —
+and in both cases every job still completes, every result is
+bit-identical to an uninterrupted run of the same experiment, and no
+config hash is ever simulated more than once per cache miss. The last
+invariant is audited from the two durable records the service keeps:
+the job journal (at most one non-cached ``done`` per hash) and the
+cache index (exactly one line per hash).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checkpoint import canonical_sha256, lengths_from_spec
+from repro.network.config import NetworkConfig, mesh_config
+from repro.serve import (
+    RetryPolicy,
+    job_records,
+    load_result,
+    submit_spec,
+)
+from repro.serve.cache import ResultCache
+from repro.serve.spec import spec_for
+from repro.serve.store import JOURNAL, read_events
+from repro.sim.runner import run_simulation
+
+#: Large enough that a server SIGKILL lands mid-queue (~0.35 s/job),
+#: small enough that the whole file stays in tier-1 territory.
+PHASES = dict(warmup=300, measure=600, drain=100)
+RATES = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40]
+FAST = RetryPolicy(base=0.001, factor=2.0, cap=0.01, jitter=0.0)
+
+CONFIG = mesh_config(mesh_k=4)
+
+
+def make_specs():
+    """12 jobs over 8 distinct experiments: rates + 4 duplicates."""
+    specs = [spec_for(CONFIG, rate=rate, label=f"r{rate:g}", **PHASES)
+             for rate in RATES]
+    specs += [spec_for(CONFIG, rate=rate, label=f"dup{rate:g}", **PHASES)
+              for rate in RATES[:4]]
+    return specs
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Uninterrupted ground truth: result hash per distinct spec hash."""
+    hashes = {}
+    for spec in make_specs():
+        key = spec.spec_hash()
+        if key in hashes:
+            continue
+        result = run_simulation(
+            NetworkConfig.from_dict(spec.config), pattern=spec.pattern,
+            rate=spec.rate, lengths=lengths_from_spec(spec.lengths),
+            warmup=spec.warmup, measure=spec.measure, drain=spec.drain,
+        )
+        hashes[key] = canonical_sha256(result.to_dict())
+    return hashes
+
+
+def assert_no_duplicate_simulation(root):
+    """Journal + cache index audit: one simulation per cache miss."""
+    events = read_events(os.path.join(root, JOURNAL))
+    fresh_by_hash = {}
+    for rec in job_records(root).values():
+        assert rec.hash is not None
+    for ev in events:
+        if ev["ev"] == "done" and not ev.get("cached"):
+            job_hash = job_records(root)[ev["job"]].hash
+            fresh_by_hash[job_hash] = fresh_by_hash.get(job_hash, 0) + 1
+    assert all(n <= 1 for n in fresh_by_hash.values()), fresh_by_hash
+    index = ResultCache(root).read_index()
+    hashes = [entry["hash"] for entry in index]
+    assert len(hashes) == len(set(hashes)), "cache index has duplicates"
+
+
+def assert_bit_identical(root, job_ids, baseline):
+    records = job_records(root)
+    for job_id in job_ids:
+        rec = records[job_id]
+        assert rec.state == "done", (job_id, rec.state, rec.error)
+        result = load_result(root, rec)
+        assert canonical_sha256(result.to_dict()) == baseline[rec.hash], \
+            f"{job_id} ({rec.label}) diverged from the uninterrupted run"
+
+
+class TestWorkerSigkill:
+    def test_killed_worker_fleet_still_completes(self, tmp_path, baseline):
+        from repro.serve import ExperimentService
+
+        root = str(tmp_path)
+        specs = make_specs()
+        # Any single worker: arm the hard-death chaos hook on one job's
+        # first attempt. The hook fires inside the worker process, so
+        # this IS a SIGKILLed worker mid-fleet, not a simulated error.
+        specs[5].chaos = {"sigkill_attempts": 1}
+        job_ids = [submit_spec(root, spec) for spec in specs]
+        assert len(job_ids) == 12
+        with ExperimentService(root, workers=2, lease_timeout=30.0,
+                               retry_policy=FAST) as svc:
+            svc.run(once=True, max_seconds=300, install_signals=False)
+            counters = svc.metrics.to_dict()["counters"]
+        assert counters["serve_retries_total"] >= 1
+        assert_bit_identical(root, job_ids, baseline)
+        assert_no_duplicate_simulation(root)
+        # 8 distinct experiments -> exactly 8 cache entries, and the 4
+        # duplicates all hit.
+        assert len(ResultCache(root).read_index()) == 8
+        assert counters["serve_cache_hits_total"] >= 4
+
+
+def _serve_proc(root, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", root, "--workers", "2",
+         "--poll", "0.02", "--lease-timeout", "60", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+def _wait_for_done(root, n, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        done = sum(1 for rec in job_records(root).values() if rec.terminal)
+        if done >= n:
+            return done
+        time.sleep(0.05)
+    raise AssertionError(f"fewer than {n} jobs terminal after {timeout}s")
+
+
+class TestServerSigkill:
+    def test_kill_dash_nine_the_server_and_restart(self, tmp_path,
+                                                   baseline):
+        root = str(tmp_path)
+        job_ids = [submit_spec(root, spec) for spec in make_specs()]
+        assert len(job_ids) == 12
+
+        server = _serve_proc(root)
+        try:
+            # Let it get properly mid-queue, then kill it dead.
+            _wait_for_done(root, 2)
+            os.kill(server.pid, signal.SIGKILL)
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+        interrupted = job_records(root)
+        survivors = [j for j in job_ids
+                     if j in interrupted and interrupted[j].terminal]
+        assert survivors, "server died before finishing anything"
+        assert len(survivors) < 12, "server finished before the kill"
+
+        # PDEATHSIG: the dead server's workers must not linger.
+        time.sleep(0.5)
+        for rec in interrupted.values():
+            if rec.worker is not None and rec.state == "running":
+                with pytest.raises(ProcessLookupError):
+                    os.kill(rec.worker, 0)
+
+        # Restart over the same root: the journal is the queue.
+        restarted = _serve_proc(root, "--once")
+        stdout, stderr = restarted.communicate(timeout=300)
+        assert restarted.returncode == 0, stderr.decode()
+
+        records = job_records(root)
+        assert all(records[j].state == "done" for j in job_ids)
+        assert_bit_identical(root, job_ids, baseline)
+        assert_no_duplicate_simulation(root)
+        # Jobs orphaned by the kill were requeued, not restarted ad hoc.
+        events = read_events(os.path.join(root, JOURNAL))
+        assert any(ev["ev"] == "requeued" for ev in events)
+
+    def test_resubmission_after_restart_is_all_cache_hits(self, tmp_path,
+                                                          baseline):
+        root = str(tmp_path)
+        first = [submit_spec(root, spec) for spec in make_specs()[:4]]
+        server = _serve_proc(root, "--once")
+        stdout, stderr = server.communicate(timeout=300)
+        assert server.returncode == 0, stderr.decode()
+
+        # Same specs again, fresh job ids: every one must come from the
+        # cache without simulating.
+        second = [submit_spec(root, spec) for spec in make_specs()[:4]]
+        server = _serve_proc(root, "--once")
+        stdout, stderr = server.communicate(timeout=300)
+        assert server.returncode == 0, stderr.decode()
+
+        records = job_records(root)
+        assert all(records[j].state == "done" for j in first + second)
+        assert all(records[j].cached for j in second)
+        assert_bit_identical(root, first + second, baseline)
+        assert_no_duplicate_simulation(root)
