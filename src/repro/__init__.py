@@ -37,6 +37,7 @@ from repro.serve import (
     wait_for,
 )
 from repro.sim.runner import resume_simulation, run_simulation
+from repro.parallel import ShardRunError, ShardRunResult, shard_run
 from repro.sim.sweep import find_saturation, rate_sweep
 from repro.stats.summary import SimResult
 
@@ -62,6 +63,9 @@ __all__ = [
     "SimulationKilled",
     "load_checkpoint",
     "save_checkpoint",
+    "shard_run",
+    "ShardRunError",
+    "ShardRunResult",
     "ExperimentService",
     "JobSpec",
     "job_records",

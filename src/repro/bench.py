@@ -98,6 +98,25 @@ class ServeBenchCase(BenchCase):
     workers: int = 2
 
 
+@dataclass
+class ShardBenchCase(BenchCase):
+    """A sharded-run grid point: the same simulation executed by
+    :func:`repro.parallel.shard_run` across ``shards`` row-band worker
+    processes with conservative-lookahead boundary synchronization.
+
+    Its cycles/sec includes the whole sharded runtime — fork, heartbeat
+    supervision, window-cadence checkpoints, boundary exchange fsyncs
+    and the final merge — and the measured entry additionally splits
+    the overhead into ``exchange_seconds`` (boundary wait + publish)
+    and ``dispatch_seconds`` (everything the coordinator adds beyond
+    per-shard busy time), so a regression names its layer. The 1-shard
+    case isolates the supervision + checkpoint tax from boundary
+    synchrony, which only the multi-shard cases pay.
+    """
+
+    shards: int = 2
+
+
 def default_suite(quick=False, scale=1.0):
     """The standardized suite: a topology x allocator x size grid.
 
@@ -135,6 +154,17 @@ def default_suite(quick=False, scale=1.0):
         # journal + cache overhead as a trend line.
         ServeBenchCase("serve-dispatch", "mesh", 4, "islip1", "disabled",
                        0.3, *cycles(200, 800)),
+        # Shard-scaling probe: one mesh-4 grid point executed by the
+        # sharded runtime at 1, 2 and 4 row-band shards. The trio's
+        # trend lines track the crash-tolerant runtime's cost: the
+        # 1-shard case moves when supervision/checkpointing regresses,
+        # the wider cases when boundary exchange does.
+        ShardBenchCase("shard-scaling-1", "mesh", 4, "islip1", "disabled",
+                       0.3, *cycles(100, 400), shards=1),
+        ShardBenchCase("shard-scaling-2", "mesh", 4, "islip1", "disabled",
+                       0.3, *cycles(100, 400), shards=2),
+        ShardBenchCase("shard-scaling-4", "mesh", 4, "islip1", "disabled",
+                       0.3, *cycles(100, 400), shards=4),
     ]
     # Fast-core twins of the reference cases whose reference-vs-fast
     # ratio the roadmap tracks (recorded under "speedups"). Each twin
@@ -267,6 +297,66 @@ def run_serve_case(case, repeats=3):
     }
 
 
+def run_shard_case(case, repeats=3):
+    """Measure one :class:`ShardBenchCase`: sharded cycles/sec.
+
+    Each repeat runs :func:`repro.parallel.shard_run` into a fresh
+    state directory. Besides the usual cycles/sec the measured entry
+    carries ``exchange_seconds`` (per-shard boundary wait + publish
+    time) and ``dispatch_seconds`` (wall time beyond average per-shard
+    busy time: fork, supervision, final merge) so the trend history
+    shows *where* a sharding regression lands, not just that one
+    happened. Worker timers arrive summed across shards; dividing by
+    the shard count yields the average per-process figure the wall
+    clock is compared against.
+    """
+    import shutil
+    import tempfile
+
+    from repro.parallel import shard_run
+
+    config = case.config()
+    samples = []
+    exchange = []
+    dispatch = []
+    cycles_run = 0
+    for i in range(repeats + 1):
+        out_dir = tempfile.mkdtemp(prefix="repro-bench-shard-")
+        try:
+            start = time.perf_counter()
+            run = shard_run(
+                config, rate=case.rate, warmup=case.warmup,
+                measure=case.measure, drain=0, seed=case.seed,
+                shards=case.shards, out_dir=out_dir,
+            )
+            elapsed = time.perf_counter() - start
+        finally:
+            shutil.rmtree(out_dir, ignore_errors=True)
+        if run.status != "done":
+            raise RuntimeError(
+                f"shard bench run ended '{run.status}', expected 'done'"
+            )
+        if i == 0:
+            continue  # warmup repeat: imports, fork machinery, caches
+        cycles_run = run.cycles
+        busy = sum(run.timers.values()) / case.shards
+        exch = (run.timers.get("wait_seconds", 0.0)
+                + run.timers.get("publish_seconds", 0.0))
+        samples.append(elapsed)
+        exchange.append(exch / case.shards)
+        dispatch.append(max(0.0, elapsed - busy))
+    wall = statistics.median(samples)
+    return {
+        "cycles_per_sec": cycles_run / wall if wall > 0 else 0.0,
+        "cycles": cycles_run,
+        "wall_seconds": wall,
+        "repeats": repeats,
+        "shards": case.shards,
+        "exchange_seconds": statistics.median(exchange),
+        "dispatch_seconds": statistics.median(dispatch),
+    }
+
+
 def _artifact_cycles(root, record):
     """cycles_run of one done job, read from its cached summary."""
     from repro.serve import load_result
@@ -358,6 +448,11 @@ def run_suite(suite=None, quick=False, scale=1.0, repeats=3,
 
     for case in suite:
         if case.name in skip:
+            continue
+        if isinstance(case, ShardBenchCase):
+            if progress is not None:
+                progress(case.name)
+            record(case, run_shard_case(case, repeats=repeats))
             continue
         if isinstance(case, ServeBenchCase):
             if progress is not None:

@@ -62,6 +62,40 @@ class PipelinedChannel:
             else:
                 self._queue.append((entry["due"], entry["credit"]))
 
+    def drain_state(self, ctx):
+        """Serialize and remove every queued item (shard boundary export).
+
+        The shard protocol moves a boundary channel's in-flight items
+        into a window-stamped exchange file; the writer's live copy is
+        emptied so the items exist in exactly one place at a time.
+        """
+        state = self.state_dict(ctx)
+        self._queue.clear()
+        return state
+
+    def absorb_state(self, state, ctx):
+        """Append serialized items to the queue (shard boundary import).
+
+        Unlike :meth:`load_state` this keeps existing items: a channel
+        whose delay exceeds the lookahead window legitimately holds
+        imports from several windows at once. Items arrive in send
+        order per window and windows are imported in order, so due
+        timestamps stay non-decreasing (asserted against the tail).
+        """
+        entries = state["items"]
+        if not entries:
+            return
+        q = self._queue
+        if q and q[-1][0] > entries[0]["due"]:
+            raise AssertionError(
+                "boundary import would reorder channel deliveries"
+            )
+        for entry in entries:
+            if "flit" in entry:
+                q.append((entry["due"], ctx.flit(entry["flit"])))
+            else:
+                q.append((entry["due"], entry["credit"]))
+
     def items(self):
         """The queued payloads, in send order (introspection only).
 

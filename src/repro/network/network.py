@@ -102,11 +102,19 @@ class Network:
         self.transport = None
         self.invariants = None
         self.watchdog = None
-        #: The routers/sources actually stepped each cycle. Aliases of
-        #: the full lists until a router dies (retire_router), so the
-        #: fault-free path has no filtering cost.
+        #: The routers/sources/sinks actually stepped each cycle.
+        #: Aliases of the full lists until a router dies (retire_router)
+        #: or a shard mask is applied, so the common path has no
+        #: filtering cost.
         self.step_routers = self.routers
         self.step_sources = self.sources
+        self.step_sinks = self.sinks
+        #: Conservative-lookahead shard mask (repro.parallel), or None.
+        #: Unlike fault retirement, a masked network is still fully
+        #: snapshotable: the un-stepped components simply hold their
+        #: initial (or restored) state, and the shard protocol is what
+        #: keeps the stepped subset equivalent to a global run.
+        self.shard_mask = None
 
     # ------------------------------------------------------------------
 
@@ -238,6 +246,36 @@ class Network:
                 keep.append(source)
         self.step_sources = keep
 
+    def apply_shard_mask(self, router_ids, terminal_ids):
+        """Step only the given routers/terminals (repro.parallel).
+
+        The masked-out components stay constructed (their channel
+        objects are the landing zones for boundary imports and their
+        state is part of snapshots), they just never execute. Refused on
+        a network that already has faults attached — shard workers run
+        the plain deterministic core only.
+        """
+        if self.faults is not None or self.transport is not None:
+            raise ValueError(
+                "cannot shard a network with fault injection or a "
+                "reliable transport attached"
+            )
+        router_set = frozenset(router_ids)
+        terminal_set = frozenset(terminal_ids)
+        self.shard_mask = {
+            "routers": sorted(router_set),
+            "terminals": sorted(terminal_set),
+        }
+        self.step_routers = [
+            r for i, r in enumerate(self.routers) if i in router_set
+        ]
+        self.step_sources = [
+            s for s in self.sources if s.terminal in terminal_set
+        ]
+        self.step_sinks = [
+            s for s in self.sinks if s.terminal in terminal_set
+        ]
+
     def step(self):
         """Advance the network by one cycle."""
         now = self.cycle
@@ -245,7 +283,7 @@ class Network:
             self.faults.begin_cycle(now)
         for router in self.step_routers:
             router.receive(now)
-        for sink in self.sinks:
+        for sink in self.step_sinks:
             sink.step(now)
         for source in self.step_sources:
             source.receive_credits(now)
@@ -292,7 +330,7 @@ class Network:
                 "cannot checkpoint a network with fault injection or a "
                 "reliable transport attached"
             )
-        if self.step_routers is not self.routers:
+        if self.step_routers is not self.routers and self.shard_mask is None:
             raise CheckpointError(
                 "cannot checkpoint a degraded network (retired routers)"
             )

@@ -1,0 +1,146 @@
+"""Window-stamped exchange files and cross-window packet identity.
+
+Each shard publishes one exchange file per completed window:
+``<root>/exch/s<shard>/w<window>.json`` holding the serialized contents
+of every boundary channel the shard writes (flits interned through the
+checkpoint layer's :class:`~repro.checkpoint.SnapshotContext`), plus
+the shard's per-cycle in-flight counts for the drain-decision protocol.
+Files are written atomically and fsynced (``atomic_write``) and are
+**immutable once published**: a restarted shard that re-simulates a
+window skips the publish when the file already exists, so no window's
+output is ever published twice.
+
+Packet identity across imports: flits of one packet may cross a
+boundary in different windows (wormhole packets span windows), and a
+restarted worker rebuilds earlier flits from a checkpoint. Both paths
+must yield the *same* Packet object per pid inside one worker — the
+router's streaming desync check compares object identity. The
+:class:`PacketArena` is that per-worker identity map; checkpoint
+restores and exchange imports both materialize packets through an
+:class:`ArenaContext` bound to it.
+"""
+
+import json
+import os
+import time
+
+from repro.checkpoint import RestoreContext, canonical_json
+from repro.obs.artifacts import atomic_write
+
+EXCH_DIR = "exch"
+
+#: Bump on any incompatible change to the exchange-file layout.
+EXCHANGE_SCHEMA = 1
+
+_MAGIC = "repro-shard-exchange"
+
+
+class ExchangeError(RuntimeError):
+    """An exchange file is missing, foreign, or inconsistent."""
+
+
+def exchange_path(root, shard, window):
+    return os.path.join(root, EXCH_DIR, f"s{shard}", f"w{window:08d}.json")
+
+
+def publish_exchange(root, shard, window, record):
+    """Atomically publish a window's exchange file; returns False when
+    the file already exists (a restarted shard re-simulating the window
+    must not re-publish — published output is immutable)."""
+    path = exchange_path(root, shard, window)
+    if os.path.exists(path):
+        return False
+    with atomic_write(path) as fh:
+        fh.write(canonical_json(record))
+        fh.write("\n")
+    return True
+
+
+def read_exchange(path, shard, window):
+    """Load and validate one exchange file."""
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExchangeError(f"unreadable exchange file {path}: {exc}") from exc
+    if (
+        not isinstance(record, dict)
+        or record.get("magic") != _MAGIC
+        or record.get("shard") != shard
+        or record.get("window") != window
+    ):
+        raise ExchangeError(f"foreign or mismatched exchange file: {path}")
+    return record
+
+
+def make_exchange(shard, window, cycle_start, cycle_end, channels, packets,
+                  inflight):
+    return {
+        "magic": _MAGIC,
+        "schema": EXCHANGE_SCHEMA,
+        "shard": shard,
+        "window": window,
+        "cycle_start": cycle_start,
+        "cycle_end": cycle_end,
+        "channels": channels,
+        "packets": packets,
+        # Per-position local in-flight counts (drain decisions only;
+        # empty for windows that end before the measurement phase does).
+        "inflight": {str(pos): n for pos, n in inflight.items()},
+    }
+
+
+def wait_for_exchange(root, shard, window, heartbeat=None, should_abort=None,
+                      poll=0.01, max_poll=0.2):
+    """Block until another shard's window file appears, then load it.
+
+    The wait is unbounded by design — liveness of the peer is the
+    coordinator's job (lease expiry / barrier watchdog restart the
+    peer; PDEATHSIG reaps us if the coordinator dies). ``heartbeat``
+    is called periodically so waiting never looks like a wedge, and
+    ``should_abort`` (drain requested) breaks the wait.
+    """
+    path = exchange_path(root, shard, window)
+    delay = poll
+    while True:
+        if os.path.exists(path):
+            return read_exchange(path, shard, window)
+        if should_abort is not None and should_abort():
+            return None
+        if heartbeat is not None:
+            heartbeat(os.path.relpath(path, root))
+        time.sleep(delay)
+        delay = min(max_poll, delay * 1.5)
+
+
+# ---------------------------------------------------------------------------
+# packet identity across checkpoint restores and window imports
+
+
+class PacketArena:
+    """Per-worker pid → Packet identity map.
+
+    One arena spans one worker's lifetime of restores and imports, so a
+    flit imported in window ``k+1`` references the same Packet object
+    as its siblings restored from a checkpoint or imported in window
+    ``k``. A drain replay rewinds into a *fresh* arena (the restored
+    snapshot replaces every live reference wholesale).
+    """
+
+    def __init__(self):
+        self.packets = {}
+
+
+class ArenaContext(RestoreContext):
+    """RestoreContext whose pid cache is a shared :class:`PacketArena`.
+
+    A pid already present in the arena resolves to the existing object
+    (fields untouched — the live object is at least as current as any
+    exchange record, which freezes at the packet's head crossing); an
+    unknown pid materializes from this context's record table and joins
+    the arena.
+    """
+
+    def __init__(self, packet_table, arena):
+        super().__init__(packet_table)
+        self._cache = arena.packets

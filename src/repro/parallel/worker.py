@@ -1,0 +1,653 @@
+"""Shard worker process: windowed stepping, checkpoints, drain consensus.
+
+One worker owns one shard of the partition and advances it window by
+window (window = conservative lookahead, bounded by the minimum
+boundary channel latency):
+
+1. *(cadence / drain region)* snapshot the window-start state — the
+   file checkpoint a restart resumes from, and the in-memory state a
+   drain replay rewinds to. Always taken **before** imports, so the
+   restart path re-imports exactly once.
+2. Import every neighbor's exchange file for the previous window
+   (gather all files first, then absorb — a drain request mid-wait
+   must leave the window-start state unmutated).
+3. Step the window. The full-network injector runs in every shard for
+   pid/RNG determinism; only packets sourced at local terminals are
+   actually injected.
+4. Serialize boundary exports and publish the window's exchange file
+   (atomic, immutable, skip-if-already-published).
+5. In the drain region, run the quiescence decision from published
+   in-flight histograms — a pure function of the exchange files, so
+   every shard (including one restarted mid-drain) reaches the same
+   verdict. Quiescence strictly inside the window rewinds to the
+   window-start snapshot and re-steps to the stop position.
+6. Either finalize (publish the shard's end-state payload) or clear
+   the exported boundary channels and continue.
+
+SIGTERM/SIGINT request a graceful drain: the worker checkpoints the
+current window-start state and exits with code 5; a later run resumes
+from that checkpoint bit-identically.
+"""
+
+import gzip
+import json
+import os
+import signal
+import threading
+import time
+
+from repro.checkpoint import (
+    SnapshotContext,
+    canonical_json,
+    config_hash,
+    lengths_from_spec,
+)
+from repro.network.flit import peek_next_packet_id, set_next_packet_id
+from repro.network.network import Network
+from repro.obs.artifacts import atomic_write
+from repro.parallel.exchange import (
+    EXCH_DIR,
+    ArenaContext,
+    PacketArena,
+    make_exchange,
+    publish_exchange,
+    wait_for_exchange,
+)
+from repro.parallel.partition import ShardPlan
+from repro.proc import die_with_parent, write_outcome
+from repro.stats import StatsCollector
+from repro.traffic.injection import BernoulliInjector
+from repro.traffic.patterns import build_pattern
+
+CKPT_DIR = "ckpt"
+FINAL_DIR = "final"
+HB_DIR = "hb"
+CONTROL_DIR = "control"
+
+CKPT_SCHEMA = 1
+_CKPT_MAGIC = "repro-shard-checkpoint"
+_FINAL_MAGIC = "repro-shard-final"
+
+EXIT_OK = 0
+#: Graceful drain: the worker checkpointed its window-start state.
+EXIT_DRAINED = 5
+
+#: File checkpoint cadence fallback: roughly every 64 cycles' worth of
+#: windows (lookahead windows are short — per-window files would thrash).
+CKPT_TARGET_CYCLES = 64
+
+
+def checkpoint_path(root, shard, window_index):
+    return os.path.join(root, CKPT_DIR, f"s{shard}.w{window_index:08d}.json.gz")
+
+
+def final_path(root, shard):
+    return os.path.join(root, FINAL_DIR, f"s{shard}.json.gz")
+
+
+def heartbeat_path(root, shard, attempt):
+    return os.path.join(root, HB_DIR, f"s{shard}.a{attempt}.hb.json")
+
+
+def outcome_path(root, shard, attempt):
+    return os.path.join(root, HB_DIR, f"s{shard}.a{attempt}.out.json")
+
+
+def drain_flag_path(root):
+    return os.path.join(root, CONTROL_DIR, "drain")
+
+
+def window_schedule(main_cycles, drain_cycles, window):
+    """Window spans ``[(a, b), ...]`` covering main then drain cycles.
+
+    Region edges never share a window: the main→drain transition is a
+    window boundary, so the last main window's exchange file carries
+    the in-flight count at the drain decision's first candidate
+    position.
+    """
+    spans = []
+    for start, end in ((0, main_cycles),
+                      (main_cycles, main_cycles + drain_cycles)):
+        a = start
+        while a < end:
+            b = min(a + window, end)
+            spans.append((a, b))
+            a = b
+    return spans
+
+
+def save_payload_gz(path, payload):
+    """Gzip + atomically publish a JSON payload; immutable once written
+    (restarted shards regenerate byte-identical payloads and skip)."""
+    if os.path.exists(path):
+        return False
+    blob = gzip.compress(canonical_json(payload).encode("utf-8"), mtime=0)
+    with atomic_write(path, mode="wb") as fh:
+        fh.write(blob)
+    return True
+
+
+def load_payload_gz(path):
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class ShardStatsCollector(StatsCollector):
+    """StatsCollector that keys every latency sample for merging.
+
+    Single-process sample order is global sink-step order: ascending
+    cycle, then ascending sink terminal within a cycle (a sink ejects
+    at most one flit per cycle, so ``(cycle, dest)`` is unique). Each
+    shard records that key alongside its samples; the merge sorts the
+    concatenated samples by key to reproduce the reference append
+    order exactly.
+    """
+
+    def reset(self):
+        super().reset()
+        self.eject_keys = []
+
+    def record_ejected(self, packet, cycle):
+        before = len(self.packet_latencies)
+        super().record_ejected(packet, cycle)
+        if len(self.packet_latencies) > before:
+            self.eject_keys.append([cycle, packet.dest])
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["eject_keys"] = [list(key) for key in self.eject_keys]
+        return state
+
+    def load_state(self, state):
+        super().load_state(state)
+        self.eject_keys = [list(key) for key in state.get("eject_keys", [])]
+
+
+class Heartbeat:
+    """Atomic single-file heartbeat: mtime is the lease, the JSON body
+    carries window progress for the barrier watchdog.
+
+    Thread-safe: a background pulse thread re-publishes the last-known
+    fields (fresh mtime) while the main thread is inside a long
+    beat-free section — constructing a large network, serializing a
+    checkpoint or the final payload — so the lease never expires on a
+    merely *slow* worker. A *stalled* worker is still caught: its
+    (window, cycle, state) position stops advancing and the
+    coordinator's barrier watchdog fires instead.
+    """
+
+    def __init__(self, path, shard, attempt, min_interval=0.2):
+        self.path = path
+        self.min_interval = min_interval
+        self._last = 0.0
+        self._lock = threading.Lock()
+        self._fields = {"shard": shard, "attempt": attempt,
+                        "pid": os.getpid()}
+
+    def beat(self, force=False, **fields):
+        with self._lock:
+            self._fields.update(fields)
+            now = time.monotonic()
+            if not force and now - self._last < self.min_interval:
+                return
+            self._last = now
+            record = dict(self._fields)
+        record["t"] = time.time()
+        with atomic_write(self.path) as fh:
+            json.dump(record, fh)
+
+    def pulse(self, stop, interval=1.0):
+        """Re-publish current fields until ``stop`` is set."""
+        while not stop.is_set():
+            self.beat(force=True)
+            stop.wait(interval)
+
+
+class _ShardWorker:
+    def __init__(self, root, config, run_spec, shard, attempt, options,
+                 heartbeat=None):
+        self.root = root
+        self.config = config
+        self.run_spec = run_spec
+        self.shard = shard
+        self.attempt = attempt
+        self.plan = ShardPlan(config, options["shards"])
+        self.window = int(options["window"])
+        self.M = run_spec["warmup"] + run_spec["measure"]
+        self.drain = run_spec["drain"]
+        self.schedule = window_schedule(self.M, self.drain, self.window)
+        self.ckpt_every = int(
+            options.get("checkpoint_windows")
+            or max(1, CKPT_TARGET_CYCLES // self.window)
+        )
+        # Chaos only ever fires on a shard's first attempt: restarts
+        # must replay the lost windows cleanly.
+        self.chaos = dict(options.get("chaos") or {}) if attempt == 1 else {}
+        self.hash = config_hash(config, run_spec)
+        self.hb = heartbeat or Heartbeat(
+            heartbeat_path(root, shard, attempt), shard, attempt)
+        self.timers = {"step_seconds": 0.0, "wait_seconds": 0.0,
+                       "publish_seconds": 0.0, "checkpoint_seconds": 0.0}
+        self.drain_flag = False
+
+        # Full network, masked to the shard; reference core always (the
+        # sharded protocol exchanges reference channel state).
+        self.stats = ShardStatsCollector(self.plan.topology.num_terminals)
+        self.net = Network(config, stats=self.stats)
+        self.net.apply_shard_mask(self.plan.routers_of(shard),
+                                  self.plan.terminals_of(shard))
+        self.local_terminals = frozenset(self.plan.terminals_of(shard))
+        self.exports = self.plan.exports_of(shard)
+
+        # Traffic built exactly as the reference runner builds it: one
+        # rng drives pattern construction then injection, so every
+        # shard draws the identical packet stream (and pid sequence).
+        import random as _random
+
+        traffic_rng = _random.Random(config.seed + 0x5EED)
+        pattern = build_pattern(run_spec["pattern"],
+                                self.net.num_terminals, traffic_rng)
+        self.inj = BernoulliInjector(
+            self.net.num_terminals, pattern, run_spec["rate"],
+            lengths_from_spec(run_spec["lengths"]), traffic_rng,
+        )
+        self.stats.set_window(run_spec["warmup"], self.M)
+        set_next_packet_id(0)
+        self.arena = PacketArena()
+        self.hist_cache = {}
+
+        # Which window's exchange file records each in-flight position
+        # (position p is produced by stepping cycle p-1). Only drain
+        # decision candidates (p >= M) are ever looked up.
+        self.recorder = {}
+        for j, (a, b) in enumerate(self.schedule):
+            for pos in range(max(a + 1, self.M), b + 1):
+                self.recorder[pos] = j
+
+    # ------------------------------------------------------------------
+
+    def request_drain(self, *_args):
+        self.drain_flag = True
+
+    def _drain_requested(self):
+        return self.drain_flag or os.path.exists(drain_flag_path(self.root))
+
+    def _beat_waiting(self, awaiting):
+        # Naming the awaited file lets the coordinator scope the
+        # waiting exemption: a worker "waiting" on a file that already
+        # exists is wedged, not blocked.
+        self.hb.beat(state="waiting", awaiting=awaiting)
+
+    # ------------------------------------------------------------------
+
+    def _capture(self):
+        ctx = SnapshotContext()
+        return {
+            "network": self.net.snapshot(ctx),
+            "packets": ctx.packets,
+            "injector": self.inj.state_dict(),
+            "next_pid": peek_next_packet_id(),
+        }
+
+    def _checkpoint_payload(self, magic, window_index, state):
+        return {
+            "magic": magic,
+            "schema": CKPT_SCHEMA,
+            "config_hash": self.hash,
+            "shard": self.shard,
+            "num_shards": self.plan.num_shards,
+            "window_index": window_index,
+            "cycle": state["network"]["cycle"],
+            "next_pid": state["next_pid"],
+            "packets": state["packets"],
+            "network": state["network"],
+            "injector": state["injector"],
+        }
+
+    def _save_checkpoint(self, window_index, state):
+        t0 = time.perf_counter()
+        payload = self._checkpoint_payload(_CKPT_MAGIC, window_index, state)
+        save_payload_gz(checkpoint_path(self.root, self.shard, window_index),
+                        payload)
+        self._prune_checkpoints(window_index)
+        self.timers["checkpoint_seconds"] += time.perf_counter() - t0
+
+    def _prune_checkpoints(self, newest_index, keep=2):
+        ckpt_dir = os.path.join(self.root, CKPT_DIR)
+        prefix = f"s{self.shard}.w"
+        try:
+            names = sorted(
+                n for n in os.listdir(ckpt_dir)
+                if n.startswith(prefix) and n.endswith(".json.gz")
+            )
+        except OSError:
+            return
+        for name in names[:-keep]:
+            try:
+                os.unlink(os.path.join(ckpt_dir, name))
+            except OSError:
+                pass
+
+    def _restore_state(self, payload):
+        """Load a checkpoint/final payload into the live network (fresh
+        arena: a wholesale restore replaces every live reference)."""
+        self.arena = PacketArena()
+        ctx = ArenaContext(payload["packets"], self.arena)
+        self.net.restore(payload["network"], ctx)
+        self.inj.load_state(payload["injector"])
+        set_next_packet_id(payload["next_pid"])
+
+    def _resume_window(self):
+        """Newest valid checkpoint's window index (0 = fresh start)."""
+        ckpt_dir = os.path.join(self.root, CKPT_DIR)
+        prefix = f"s{self.shard}.w"
+        try:
+            names = sorted(
+                (n for n in os.listdir(ckpt_dir)
+                 if n.startswith(prefix) and n.endswith(".json.gz")),
+                reverse=True,
+            )
+        except OSError:
+            return 0
+        for name in names:
+            try:
+                payload = load_payload_gz(os.path.join(ckpt_dir, name))
+            except (OSError, EOFError, json.JSONDecodeError):
+                continue
+            if (payload.get("magic") != _CKPT_MAGIC
+                    or payload.get("schema") != CKPT_SCHEMA
+                    or payload.get("config_hash") != self.hash
+                    or payload.get("shard") != self.shard):
+                continue
+            self._restore_state(payload)
+            return payload["window_index"]
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def _gather_imports(self, window_index):
+        """All neighbor exchange files for the previous window, read but
+        not yet applied. None when a drain request interrupted the wait."""
+        if window_index == 0:
+            return []
+        records = []
+        t0 = time.perf_counter()
+        try:
+            for src in self.plan.import_sources(self.shard):
+                record = wait_for_exchange(
+                    self.root, src, window_index - 1,
+                    heartbeat=self._beat_waiting,
+                    should_abort=self._drain_requested,
+                )
+                if record is None:
+                    return None
+                records.append(record)
+        finally:
+            self.timers["wait_seconds"] += time.perf_counter() - t0
+        return records
+
+    def _absorb_imports(self, records):
+        # Packet construction bumps the global pid counter; imported
+        # packets are *re*-materializations, not new traffic, so the
+        # counter must come out untouched (pid determinism across
+        # shards is what makes the merge possible).
+        saved_pid = peek_next_packet_id()
+        for record in records:
+            ctx = ArenaContext(record["packets"], self.arena)
+            for spec in self.plan.imports_of(self.shard):
+                if spec["writer"] != record["shard"]:
+                    continue
+                channel = ShardPlan.resolve_channel(self.net, spec)
+                channel.absorb_state(record["channels"][spec["key"]], ctx)
+        set_next_packet_id(saved_pid)
+
+    def _step_window(self, a, b, record_hist=True):
+        """Step cycles [a, b); returns the in-flight histogram entries
+        this window contributes to the drain decision."""
+        assert self.net.cycle == a, (self.net.cycle, a)
+        hist = {}
+        net, inj = self.net, self.inj
+        kill_at = self.chaos.get("sigkill_at_cycle")
+        t0 = time.perf_counter()
+        for c in range(a, b):
+            if c < self.M:
+                # Full-network injection for pid/RNG determinism; only
+                # local packets enter the (masked) network.
+                for packet in inj.generate(c):
+                    if packet.src in self.local_terminals:
+                        net.inject(packet)
+            elif inj.enabled:
+                # Main→drain transition, as the reference runner does it.
+                inj.enabled = False
+            net.step()
+            pos = net.cycle
+            if record_hist and self.drain > 0 and pos >= self.M:
+                hist[pos] = net.in_flight_flits()
+            if kill_at is not None and pos >= kill_at:
+                os.kill(os.getpid(), signal.SIGKILL)
+            self.hb.beat(state="running", cycle=pos)
+        self.timers["step_seconds"] += time.perf_counter() - t0
+        return hist
+
+    def _publish_window(self, window_index, a, b, hist):
+        """Serialize boundary exports (keeping the live copies — they
+        are only cleared once the shard commits to the next window) and
+        publish the window's immutable exchange file."""
+        t0 = time.perf_counter()
+        ctx = SnapshotContext()
+        channels = {
+            spec["key"]: ShardPlan.resolve_channel(self.net, spec)
+            .state_dict(ctx)
+            for spec in self.exports
+        }
+        record = make_exchange(self.shard, window_index, a, b,
+                               channels, ctx.packets, hist)
+        if self.chaos.get("sigkill_on_publish_window") == window_index:
+            # Die "mid-publish": leave writer-temp debris next to the
+            # exchange file, then vanish without publishing. The atomic
+            # rename means readers never see a partial file.
+            debris = os.path.join(
+                self.root, EXCH_DIR, f"s{self.shard}",
+                f".w{window_index:08d}.json.chaos-tmp",
+            )
+            with open(debris, "w") as fh:
+                fh.write('{"partial": true')
+            os.kill(os.getpid(), signal.SIGKILL)
+        publish_exchange(self.root, self.shard, window_index, record)
+        self.timers["publish_seconds"] += time.perf_counter() - t0
+
+    def _clear_exports(self):
+        for spec in self.exports:
+            ShardPlan.resolve_channel(self.net, spec).load_state(
+                {"items": []}, None
+            )
+
+    # ------------------------------------------------------------------
+
+    def _decide(self, window_index, b):
+        """Global quiescence decision after a drain-region window.
+
+        Reads every shard's published in-flight histogram (own file
+        included — the decision is a pure function of published files,
+        so restarted shards recompute the identical verdict) and
+        returns the earliest position ``t`` in ``[M, b]`` where the
+        global in-flight count is zero, None if the network is still
+        busy, or "abort" when a drain request interrupted the wait.
+        """
+        candidates = range(self.M, b + 1)
+        needed = sorted({self.recorder[pos] for pos in candidates if pos > 0})
+        t0 = time.perf_counter()
+        try:
+            for j in needed:
+                for s in range(self.plan.num_shards):
+                    if (s, j) in self.hist_cache:
+                        continue
+                    record = wait_for_exchange(
+                        self.root, s, j,
+                        heartbeat=self._beat_waiting,
+                        should_abort=self._drain_requested,
+                    )
+                    if record is None:
+                        return "abort"
+                    self.hist_cache[(s, j)] = record["inflight"]
+        finally:
+            self.timers["wait_seconds"] += time.perf_counter() - t0
+        for pos in candidates:
+            if pos == 0:
+                return 0  # an un-stepped network is trivially quiescent
+            total = sum(
+                int(self.hist_cache[(s, self.recorder[pos])][str(pos)])
+                for s in range(self.plan.num_shards)
+            )
+            if total == 0:
+                return pos
+        return None
+
+    def _replay(self, snapshot, records, a, t):
+        """Rewind to the window-start snapshot and re-step to the
+        quiescence position (strictly inside the window)."""
+        self._restore_state(snapshot)
+        self._absorb_imports(records)
+        self._step_window(a, t, record_hist=False)
+
+    # ------------------------------------------------------------------
+
+    def _wedge(self, window_index):
+        """Chaos: stop making progress while heartbeating as 'running',
+        so only the barrier watchdog (not lease expiry) can catch us."""
+        while not self._drain_requested():
+            self.hb.beat(force=True, state="running", window=window_index)
+            time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+
+    def _drain_exit(self, window_index, state):
+        self._save_checkpoint(window_index, state)
+        write_outcome(
+            outcome_path(self.root, self.shard, self.attempt),
+            ok=False, drained=True, shard=self.shard, attempt=self.attempt,
+            window=window_index, cycle=state["network"]["cycle"],
+            timers=self.timers,
+        )
+        return EXIT_DRAINED
+
+    def _finalize(self, position, drained):
+        self.inj.enabled = False  # the runner's main→drain transition
+        assert self.net.cycle == position, (self.net.cycle, position)
+        state = self._capture()
+        payload = self._checkpoint_payload(_FINAL_MAGIC, None, state)
+        payload["finalize"] = {
+            "position": position,
+            "drain_cycles": position - self.M if self.drain > 0 else 0,
+            "drained": drained,
+        }
+        payload["timers"] = self.timers
+        save_payload_gz(final_path(self.root, self.shard), payload)
+        write_outcome(
+            outcome_path(self.root, self.shard, self.attempt),
+            ok=True, shard=self.shard, attempt=self.attempt,
+            cycle=position, drained=drained, timers=self.timers,
+        )
+        return EXIT_OK
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        start_index = self._resume_window()
+        if not self.schedule:
+            return self._finalize(0, None)  # zero-cycle run
+        index = start_index
+        while index < len(self.schedule):
+            a, b = self.schedule[index]
+            in_drain = self.drain > 0 and a >= self.M
+            self.hb.beat(force=True, state="running", window=index, cycle=a,
+                         phase="drain" if in_drain else "main")
+            if self._drain_requested():
+                return self._drain_exit(index, self._capture())
+            if self.chaos.get("wedge_at_window") == index:
+                self._wedge(index)
+                return self._drain_exit(index, self._capture())
+            # Window-start snapshot, before imports (see module docs).
+            need_ckpt = index > 0 and index % self.ckpt_every == 0
+            snapshot = self._capture() if (in_drain or need_ckpt) else None
+            if need_ckpt:
+                self._save_checkpoint(index, snapshot)
+            records = self._gather_imports(index)
+            if records is None:
+                return self._drain_exit(index, snapshot or self._capture())
+            self._absorb_imports(records)
+            hist = self._step_window(a, b)
+            self._publish_window(index, a, b, hist)
+            if in_drain:
+                verdict = self._decide(index, b)
+                if verdict == "abort":
+                    return self._drain_exit(index, snapshot)
+                if verdict is not None:
+                    if verdict < b:
+                        self._replay(snapshot, records, a, verdict)
+                    return self._finalize(verdict, True)
+            if index == len(self.schedule) - 1:
+                # Budget exhausted with flits still in flight (drain
+                # requested), or no drain requested at all. Boundary
+                # exports stay live: the merge needs the sender copies.
+                return self._finalize(b, False if self.drain > 0 else None)
+            self._clear_exports()
+            index += 1
+        raise AssertionError("unreachable: schedule exhausted without finalize")
+
+
+def run_shard_worker(root, config_dict, run_spec, shard, attempt, options,
+                     hard_exit=True):
+    """Process entry point for one shard worker (multiprocessing target).
+
+    ``hard_exit`` uses ``os._exit`` so a forked worker never runs the
+    parent's atexit machinery; tests pass False to run in-process.
+    """
+    from repro.network.config import NetworkConfig
+
+    die_with_parent()
+    # A fork inherits the coordinator's SIGTERM handler, which writes
+    # the *global* drain flag — a kill aimed at this worker alone must
+    # not drain the whole run. Replace it before anything slow runs,
+    # remembering any early request so it still takes effect.
+    early_drain = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_a: early_drain.set())
+    signal.signal(signal.SIGINT, lambda *_a: early_drain.set())
+    config = NetworkConfig.from_dict(config_dict)
+    # The lease must stay fresh through every long beat-free section
+    # (network construction, checkpoint/final serialization — minutes
+    # for large topologies on loaded hosts), so a pulse thread owns
+    # liveness for the worker's whole lifetime; the barrier watchdog,
+    # which tracks (window, cycle, state) *progress*, is what catches
+    # a genuinely stalled worker.
+    hb = Heartbeat(heartbeat_path(root, shard, attempt), shard, attempt)
+    hb.beat(force=True, state="constructing")
+    stop_pulse = threading.Event()
+    pulse = threading.Thread(target=hb.pulse, args=(stop_pulse,),
+                             daemon=True)
+    pulse.start()
+    try:
+        worker = _ShardWorker(root, config, run_spec, shard, attempt,
+                              options, heartbeat=hb)
+        if early_drain.is_set():
+            worker.request_drain()
+        signal.signal(signal.SIGTERM, worker.request_drain)
+        signal.signal(signal.SIGINT, worker.request_drain)
+        code = worker.run()
+    except BaseException as exc:  # noqa: BLE001 - the outcome file is the report
+        import traceback
+
+        write_outcome(
+            outcome_path(root, shard, attempt),
+            ok=False, shard=shard, attempt=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+        code = 1
+    finally:
+        stop_pulse.set()
+    if hard_exit:
+        os._exit(code)
+    else:
+        pulse.join()
+    return code

@@ -82,15 +82,22 @@ class ExperimentService:
     def __init__(self, root, workers=2, max_retries=3, lease_timeout=30.0,
                  retry_policy=DEFAULT_RETRY_POLICY, heartbeat_every=1000,
                  mp_context=None, metrics=None, clock=time.monotonic,
-                 walltime=time.time):
+                 walltime=time.time, priority_aging=0.0):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if priority_aging < 0:
+            raise ValueError("priority_aging must be >= 0")
         self.root = os.path.abspath(root)
         self.workers = workers
         self.max_retries = max_retries
         self.lease_timeout = lease_timeout
         self.retry_policy = retry_policy
         self.heartbeat_every = heartbeat_every
+        #: Fair-share aging: queued jobs gain this many priority points
+        #: per second of wait, so a stream of high-priority submissions
+        #: cannot starve older low-priority work. 0 disables aging
+        #: (strict static priority, the historical behavior).
+        self.priority_aging = priority_aging
         if mp_context is None:
             import multiprocessing
 
@@ -374,6 +381,17 @@ class ExperimentService:
         rec.worker = None
         self.c_retries.inc()
 
+    def _effective_priority(self, rec, now):
+        """Static priority plus queue-wait aging (fair share).
+
+        Aging is computed from the durable ``submitted_t``, so it
+        survives restarts and is identical after a journal replay.
+        """
+        if not self.priority_aging or rec.submitted_t is None:
+            return float(rec.priority)
+        waited = max(0.0, now - rec.submitted_t)
+        return rec.priority + self.priority_aging * waited
+
     def _launch(self):
         """Lease eligible jobs onto free workers (cache hits are free)."""
         changed = 0
@@ -382,7 +400,8 @@ class ExperimentService:
             (rec for rec in self.jobs.values()
              if rec.state in ("submitted", "retry")
              and rec.not_before <= now),
-            key=lambda r: (-r.priority, r.submitted_t or 0.0, r.job_id),
+            key=lambda r: (-self._effective_priority(r, now),
+                           r.submitted_t or 0.0, r.job_id),
         )
         for rec in eligible:
             if self.draining:

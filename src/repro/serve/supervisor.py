@@ -23,14 +23,21 @@ even without it, the worst an orphan can do is publish a correct result
 into the content-addressed cache.
 """
 
-import errno
 import json
 import os
 import signal
-import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
+
+# Shared supervision primitives (also used by repro.parallel's shard
+# workers); re-exported here so existing imports keep working.
+from repro.proc import (  # noqa: F401  (re-exports)
+    alive_pid,
+    confirmed_kill,
+    die_with_parent,
+    read_outcome,
+)
 
 HB_DIR = "hb"
 
@@ -43,36 +50,8 @@ def outcome_path(root, job_id, attempt):
     return os.path.join(root, HB_DIR, f"{job_id}.a{attempt}.out.json")
 
 
-def read_outcome(path):
-    """The worker's outcome dict, or None if absent/unreadable.
-
-    Outcomes are written with ``atomic_write``, so an existing file is
-    always complete; unreadable covers only foreign debris.
-    """
-    try:
-        with open(path) as fh:
-            data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
-        return None
-    return data if isinstance(data, dict) else None
-
-
-def _die_with_parent():
-    """Arm PR_SET_PDEATHSIG so this worker dies with the server.
-
-    Best effort and Linux-only: on other platforms (or sandboxed
-    processes) workers may orphan on server SIGKILL, which is safe —
-    cache publication is atomic and last-writer-wins by content hash.
-    """
-    if not sys.platform.startswith("linux"):
-        return
-    try:
-        import ctypes
-
-        libc = ctypes.CDLL(None, use_errno=True)
-        libc.prctl(1, int(signal.SIGKILL), 0, 0, 0)  # PR_SET_PDEATHSIG
-    except Exception:
-        pass
+#: Backwards-compatible alias; the implementation lives in repro.proc.
+_die_with_parent = die_with_parent
 
 
 def _describe(exc):
@@ -254,36 +233,4 @@ def start_worker(root, job_id, attempt, spec, mp_context,
     )
 
 
-def confirmed_kill(process, grace=2.0):
-    """Ensure ``process`` is dead before returning (escalate to SIGKILL).
-
-    The supervision invariant hangs off this: a lease is only re-queued
-    after its worker is *confirmed* gone, so two attempts of one job
-    can never run concurrently. SIGTERM first (grace seconds), then
-    SIGKILL — which cannot be caught — then a blocking join.
-    """
-    if process.is_alive():
-        try:
-            process.terminate()
-        except OSError as exc:  # already reaped elsewhere
-            if exc.errno != errno.ESRCH:
-                raise
-        process.join(grace)
-    if process.is_alive():
-        process.kill()
-        process.join()
-    else:
-        process.join()
-
-
-def alive_pid(pid):
-    """True when ``pid`` names a live process (used for lock takeover)."""
-    if pid is None or pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True
-    return True
+# confirmed_kill and alive_pid are re-exported from repro.proc above.

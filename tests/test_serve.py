@@ -483,6 +483,66 @@ class TestDrain:
         assert all(recs[j].state == "done" for j in (j1, j2))
 
 
+class TestPriorityAging:
+    """Fair-share scheduling: queued jobs gain priority while waiting."""
+
+    class Wall:
+        """Deterministic wall clock the service reads via ``walltime``."""
+
+        def __init__(self, t=1000.0):
+            self.t = t
+
+        def __call__(self):
+            return self.t
+
+    def leased_order(self, root):
+        return [e["job"]
+                for e in read_events(os.path.join(str(root), "jobs.jsonl"))
+                if e["ev"] == "leased"]
+
+    def submit_pair(self, root, svc, wall):
+        """An old low-priority job, then a fresh high-priority one."""
+        old = svc.submit(small_spec(rate=0.1, priority=0))
+        wall.t += 1000.0
+        fresh = svc.submit(small_spec(rate=0.2, priority=5))
+        return old, fresh
+
+    def test_waiting_job_overtakes_higher_static_priority(self, tmp_path):
+        wall = self.Wall()
+        with ExperimentService(str(tmp_path), workers=1, retry_policy=FAST,
+                               walltime=wall, priority_aging=0.01) as svc:
+            # old's effective priority: 0 + 0.01 * 1000s = 10 > 5.
+            old, fresh = self.submit_pair(tmp_path, svc, wall)
+            svc.run(once=True, max_seconds=60, install_signals=False)
+        assert self.leased_order(tmp_path) == [old, fresh]
+
+    def test_zero_aging_keeps_strict_priority(self, tmp_path):
+        wall = self.Wall()
+        with ExperimentService(str(tmp_path), workers=1, retry_policy=FAST,
+                               walltime=wall) as svc:
+            old, fresh = self.submit_pair(tmp_path, svc, wall)
+            svc.run(once=True, max_seconds=60, install_signals=False)
+        assert self.leased_order(tmp_path) == [fresh, old]
+
+    def test_aging_survives_journal_recovery(self, tmp_path):
+        """submitted_t is durable, so waiting time accrued before a
+        server restart still counts toward effective priority."""
+        wall = self.Wall()
+        with ExperimentService(str(tmp_path), workers=1, retry_policy=FAST,
+                               walltime=wall, priority_aging=0.01) as svc:
+            old = svc.submit(small_spec(rate=0.1, priority=0))
+        wall.t += 1000.0
+        with ExperimentService(str(tmp_path), workers=1, retry_policy=FAST,
+                               walltime=wall, priority_aging=0.01) as svc:
+            fresh = svc.submit(small_spec(rate=0.2, priority=5))
+            svc.run(once=True, max_seconds=60, install_signals=False)
+        assert self.leased_order(tmp_path) == [old, fresh]
+
+    def test_negative_aging_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentService(str(tmp_path), priority_aging=-0.1)
+
+
 class TestStatusAndApi:
     def test_status_snapshot_and_scan(self, tmp_path):
         spec = small_spec()

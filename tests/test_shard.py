@@ -1,0 +1,303 @@
+"""Tests for the sharded simulation runtime (repro.parallel).
+
+Unit tests cover the row-band partition plan, the window schedule and
+the merge rules; the equivalence matrix then asserts the headline
+guarantee — a sharded run is bit-identical to a single-process run
+(same SimResult and same digest Merkle root) across topologies,
+allocators, seeds and shard counts. Crash/restart variants live in
+``test_shard_chaos.py``.
+"""
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.parallel import (
+    ShardPlan,
+    ShardPlanError,
+    shard_run,
+    single_process_run,
+)
+from repro.parallel.merge import (
+    MergeError,
+    merge_packet_tables,
+    merge_stats_states,
+)
+from repro.parallel.worker import window_schedule
+
+#: Tiny-but-real phases: a 4x4 mesh clears this in a couple of seconds.
+SMALL = dict(warmup=20, measure=60, drain=400)
+
+
+def config_for(mesh_k=4, allocator="islip1", topology="mesh", seed=1,
+               chaining="disabled", routing="dor"):
+    return NetworkConfig(topology=topology, mesh_k=mesh_k, routing=routing,
+                         allocator=allocator, pc_allocator="islip1",
+                         chaining=chaining, seed=seed)
+
+
+def assert_matches_single(tmp_path, config, seed, shards, *, rate=0.25,
+                          chaos=None, drain=None, window=None, **overrides):
+    knobs = dict(SMALL, **overrides)
+    if drain is not None:
+        knobs["drain"] = drain
+    expected, expected_root = single_process_run(
+        config, pattern="uniform", rate=rate, seed=seed, **knobs)
+    run = shard_run(config, pattern="uniform", rate=rate, seed=seed,
+                    shards=shards, out_dir=str(tmp_path / "state"),
+                    chaos=chaos, window=window, **knobs)
+    assert run.status == "done"
+    assert run.result == expected
+    assert run.digest_root == expected_root
+    return run
+
+
+class TestShardPlan:
+    def test_row_bands_partition_all_routers(self):
+        plan = ShardPlan(config_for(mesh_k=8), 4)
+        seen = set()
+        for shard in range(4):
+            routers = set(plan.routers_of(shard))
+            assert len(routers) == 16  # 2 full rows of 8
+            assert not seen & routers
+            seen |= routers
+            for r in routers:
+                assert plan.shard_of_router(r) == shard
+        assert seen == set(range(64))
+
+    def test_uneven_rows_go_to_leading_shards(self):
+        plan = ShardPlan(config_for(mesh_k=5), 2)
+        assert len(plan.routers_of(0)) == 15  # 3 rows
+        assert len(plan.routers_of(1)) == 10  # 2 rows
+
+    def test_terminals_follow_their_router(self):
+        plan = ShardPlan(config_for(mesh_k=4), 2)
+        for shard in range(2):
+            for t in plan.terminals_of(shard):
+                assert plan.shard_of_terminal(t) == shard
+
+    def test_mesh_lookahead_is_min_boundary_latency(self):
+        plan = ShardPlan(config_for(mesh_k=4), 2)
+        assert plan.lookahead == 2
+        assert plan.window_for(None) == 2
+        assert plan.window_for(1) == 1
+        with pytest.raises(ShardPlanError):
+            plan.window_for(3)  # beyond the conservative bound
+
+    def test_single_shard_has_no_boundaries(self):
+        plan = ShardPlan(config_for(mesh_k=4), 1)
+        assert plan.exports_of(0) == []
+        assert plan.imports_of(0) == []
+        assert plan.lookahead is None
+        assert plan.window_for(None) == 64  # free-running default
+
+    def test_export_import_symmetry(self):
+        plan = ShardPlan(config_for(mesh_k=8, topology="torus"), 4)
+        for shard in range(4):
+            exported = {spec["key"] for spec in plan.exports_of(shard)}
+            imported_elsewhere = {
+                spec["key"]
+                for other in range(4)
+                for spec in plan.imports_of(other)
+                if spec["writer"] == shard
+            }
+            assert exported == imported_elsewhere
+            for spec in plan.exports_of(shard):
+                assert spec["writer"] == shard
+                assert spec["reader"] != shard
+
+    def test_rejects_unsupported_shapes(self):
+        with pytest.raises(ShardPlanError):
+            ShardPlan(config_for(mesh_k=4), 5)  # more shards than rows
+        with pytest.raises(ShardPlanError):
+            ShardPlan(config_for(mesh_k=4), 0)
+        with pytest.raises(ShardPlanError):
+            ShardPlan(config_for(mesh_k=4, routing="ugal"), 2)
+        with pytest.raises(ShardPlanError):
+            fbfly = NetworkConfig(topology="fbfly", mesh_k=8,
+                                  routing="ugal", allocator="islip1",
+                                  pc_allocator="islip1", chaining="disabled")
+            ShardPlan(fbfly, 2)
+
+
+class TestWindowSchedule:
+    def test_region_edge_is_a_window_boundary(self):
+        assert window_schedule(5, 4, 2) == [
+            (0, 2), (2, 4), (4, 5), (5, 7), (7, 9)]
+
+    def test_no_drain(self):
+        assert window_schedule(4, 0, 2) == [(0, 2), (2, 4)]
+
+    def test_empty(self):
+        assert window_schedule(0, 0, 2) == []
+
+    def test_spans_tile_exactly(self):
+        spans = window_schedule(7, 5, 3)
+        assert spans[0][0] == 0 and spans[-1][1] == 12
+        for (_, b), (a, _) in zip(spans, spans[1:]):
+            assert b == a
+        assert (7, 10) in spans  # drain region starts on its own window
+
+
+class TestMergeRules:
+    def test_live_flit_beats_ejected_record(self):
+        live = {"network": {"buf": [{"pid": 7, "idx": 2, "vc": 0}]},
+                "packets": {"7": {"time_ejected": None, "origin": "live"}}}
+        done = {"network": {},
+                "packets": {"7": {"time_ejected": 9, "origin": "ejected"}}}
+        for payloads in ([live, done], [done, live]):
+            merged = merge_packet_tables(payloads)
+            assert merged["7"]["origin"] == "live"
+
+    def test_lowest_live_flit_index_wins(self):
+        head = {"network": {"buf": [{"pid": 3, "idx": 5, "vc": 1}]},
+                "packets": {"3": {"time_ejected": None, "origin": "tail"}}}
+        body = {"network": {"q": {"x": [{"pid": 3, "idx": 1, "vc": 0}]}},
+                "packets": {"3": {"time_ejected": None, "origin": "head"}}}
+        merged = merge_packet_tables([head, body])
+        assert merged["3"]["origin"] == "head"
+
+    def test_ejected_beats_stale_source_copy(self):
+        stale = {"network": {},
+                 "packets": {"4": {"time_ejected": None, "origin": "stale"}}}
+        done = {"network": {},
+                "packets": {"4": {"time_ejected": 6, "origin": "sink"}}}
+        merged = merge_packet_tables([stale, done])
+        assert merged["4"]["origin"] == "sink"
+
+    def _stats_state(self, keys, pl, counts):
+        return {
+            "window": [0, 100],
+            "flits_ejected_per_source": counts,
+            "flits_injected_per_source": counts,
+            "packets_created_per_source": counts,
+            "max_packet_latency": max(pl, default=0),
+            "packets_ejected": len(pl),
+            "flits_ejected": len(pl),
+            "packet_latencies": pl,
+            "network_latencies": [v - 1 for v in pl],
+            "blocked_cycles": [0] * len(pl),
+            "eject_keys": keys,
+        }
+
+    def test_stats_merge_restores_global_sink_order(self):
+        a = self._stats_state([[5, 0], [9, 2]], [50, 90], [1, 0])
+        b = self._stats_state([[7, 1]], [70], [0, 1])
+        merged = merge_stats_states([a, b])
+        assert merged["packet_latencies"] == [50, 70, 90]
+        assert merged["network_latencies"] == [49, 69, 89]
+        assert merged["flits_ejected_per_source"] == [1, 1]
+        assert merged["packets_ejected"] == 3
+        assert merged["max_packet_latency"] == 90
+        assert "eject_keys" not in merged  # consumed, not forwarded
+
+    def test_stats_merge_rejects_misaligned_samples(self):
+        bad = self._stats_state([[5, 0]], [50], [1, 0])
+        bad["eject_keys"] = []
+        with pytest.raises(MergeError):
+            merge_stats_states([bad])
+
+    def test_stats_merge_rejects_window_disagreement(self):
+        a = self._stats_state([], [], [0, 0])
+        b = self._stats_state([], [], [0, 0])
+        b["window"] = [0, 200]
+        with pytest.raises(MergeError):
+            merge_stats_states([a, b])
+
+
+class TestEquivalence:
+    """Sharded == single-process, bit for bit."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    @pytest.mark.parametrize("allocator", ["islip1", "wavefront"])
+    def test_mesh4_two_shards(self, tmp_path, allocator, seed):
+        assert_matches_single(
+            tmp_path, config_for(mesh_k=4, allocator=allocator),
+            seed=seed, shards=2)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    @pytest.mark.parametrize("allocator", ["islip1", "wavefront"])
+    def test_mesh8_two_shards(self, tmp_path, allocator, seed):
+        assert_matches_single(
+            tmp_path, config_for(mesh_k=8, allocator=allocator),
+            seed=seed, shards=2)
+
+    def test_mesh8_four_shards(self, tmp_path):
+        run = assert_matches_single(
+            tmp_path, config_for(mesh_k=8), seed=1, shards=4)
+        assert run.shards == 4
+        assert run.restarts == 0
+
+    def test_torus4_two_shards(self, tmp_path):
+        assert_matches_single(
+            tmp_path, config_for(mesh_k=4, topology="torus"),
+            seed=1, shards=2)
+
+    def test_chaining_enabled(self, tmp_path):
+        assert_matches_single(
+            tmp_path, config_for(mesh_k=4, chaining="any_input"),
+            seed=1, shards=2)
+
+    def test_no_drain_region(self, tmp_path):
+        run = assert_matches_single(
+            tmp_path, config_for(mesh_k=4), seed=1, shards=2, drain=0)
+        assert run.result.drained is None
+
+    def test_explicit_narrow_window(self, tmp_path):
+        assert_matches_single(
+            tmp_path, config_for(mesh_k=4), seed=2, shards=2, window=1)
+
+    def test_metrics_export_matches_merged_state(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        config = config_for(mesh_k=4)
+        run = shard_run(config, pattern="uniform", rate=0.25, seed=1,
+                        shards=2, out_dir=str(tmp_path / "state"),
+                        metrics=metrics, **SMALL)
+        assert run.status == "done"
+        exported = metrics.to_dict()
+        names = " ".join(
+            name for family in exported.values() for name in family)
+        assert "flits" in names or "packets" in names
+
+    def test_rate_zero_idles_identically(self, tmp_path):
+        assert_matches_single(
+            tmp_path, config_for(mesh_k=4), seed=1, shards=2, rate=0.0,
+            drain=0)
+
+
+class TestRunBookkeeping:
+    def test_result_json_and_journal_written(self, tmp_path):
+        import json
+        import os
+
+        out = tmp_path / "state"
+        run = shard_run(config_for(mesh_k=4), rate=0.25, seed=1, shards=2,
+                        out_dir=str(out), **SMALL)
+        assert run.status == "done"
+        summary = json.loads((out / "result.json").read_text())
+        assert summary["digest_root"] == run.digest_root
+        assert summary["restarts"] == 0
+        assert summary["cycles"] == run.cycles
+        events = [json.loads(line) for line in
+                  (out / "journal.jsonl").read_text().splitlines()]
+        assert [e for e in events if e["event"] == "spawn"]
+        assert events[-1]["event"] == "assembled"
+        assert os.path.isdir(out / "exch" / "s0")
+
+    def test_timers_are_aggregated(self, tmp_path):
+        run = shard_run(config_for(mesh_k=4), rate=0.25, seed=1, shards=2,
+                        out_dir=str(tmp_path / "state"), **SMALL)
+        assert run.timers["step_seconds"] > 0
+        for key in ("wait_seconds", "publish_seconds", "checkpoint_seconds"):
+            assert key in run.timers
+
+    def test_mismatched_resume_params_rejected(self, tmp_path):
+        from repro.parallel import ShardRunError
+
+        out = tmp_path / "state"
+        shard_run(config_for(mesh_k=4), rate=0.25, seed=1, shards=2,
+                  out_dir=str(out), **SMALL)
+        with pytest.raises(ShardRunError):
+            shard_run(config_for(mesh_k=4), rate=0.25, seed=1, shards=4,
+                      out_dir=str(out), **SMALL)

@@ -1,0 +1,267 @@
+"""Crash/restart tests for the sharded runtime (repro.parallel).
+
+Each scenario injects a real failure — SIGKILL mid-window, SIGKILL in
+the middle of publishing an exchange file, a wedged (silently stalled)
+worker, a SIGKILLed coordinator, a graceful SIGTERM drain — and then
+asserts the two recovery invariants: published exchange files are
+immutable (no window is ever published twice), and the completed run
+is bit-identical to an uninterrupted single-process run.
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.network.config import NetworkConfig
+from repro.parallel import shard_run, single_process_run
+from repro.parallel.worker import drain_flag_path
+from repro.obs.artifacts import atomic_write
+
+SMALL = dict(warmup=20, measure=60, drain=400)
+
+
+def config_for(mesh_k=4, allocator="islip1", seed=1):
+    return NetworkConfig(topology="mesh", mesh_k=mesh_k, routing="dor",
+                         allocator=allocator, pc_allocator="islip1",
+                         chaining="disabled", seed=seed)
+
+
+def oracle(config, seed, rate=0.25, **overrides):
+    return single_process_run(config, pattern="uniform", rate=rate,
+                              seed=seed, **dict(SMALL, **overrides))
+
+
+def run_sharded(out_dir, config, seed, shards=2, rate=0.25, **kwargs):
+    overrides = {k: kwargs.pop(k) for k in list(kwargs)
+                 if k in ("warmup", "measure", "drain")}
+    return shard_run(config, pattern="uniform", rate=rate, seed=seed,
+                     shards=shards, out_dir=str(out_dir),
+                     **dict(SMALL, **overrides), **kwargs)
+
+
+def exchange_files(out_dir):
+    found = {}
+    for dirpath, _dirnames, filenames in os.walk(
+            os.path.join(str(out_dir), "exch")):
+        for name in filenames:
+            if name.endswith(".json"):
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as fh:
+                    found[path] = hashlib.sha256(fh.read()).hexdigest()
+    return found
+
+
+class TestWorkerCrashes:
+    @pytest.mark.parametrize("mesh_k,shards,chaos_shard", [
+        (4, 2, 0), (8, 4, 2)])
+    def test_sigkill_mid_window_restarts_bit_identically(
+            self, tmp_path, mesh_k, shards, chaos_shard):
+        config = config_for(mesh_k=mesh_k)
+        expected, expected_root = oracle(config, seed=1)
+        run = run_sharded(tmp_path / "s", config, seed=1, shards=shards,
+                          chaos={chaos_shard: {"sigkill_at_cycle": 37}})
+        assert run.status == "done"
+        assert run.restarts >= 1
+        assert run.result == expected
+        assert run.digest_root == expected_root
+
+    def test_sigkill_during_publish_leaves_no_torn_file(self, tmp_path):
+        config = config_for()
+        expected, expected_root = oracle(config, seed=2)
+        out = tmp_path / "s"
+        run = run_sharded(out, config, seed=2,
+                          chaos={1: {"sigkill_on_publish_window": 10}})
+        assert run.status == "done"
+        assert run.restarts >= 1
+        assert run.result == expected
+        assert run.digest_root == expected_root
+        # Every published exchange file parses; the kill left at most
+        # debris with a non-.json suffix that readers never match.
+        from repro.parallel.exchange import read_exchange
+
+        for path in exchange_files(out):
+            shard = int(path.split(os.sep)[-2][1:])
+            window = int(os.path.basename(path)[1:-5])
+            read_exchange(path, shard, window)  # raises if torn
+
+    def test_published_windows_are_never_republished(self, tmp_path):
+        """A restarted shard replays windows it already published; the
+        skip-if-exists publish must leave the original bytes alone."""
+        out = tmp_path / "s"
+        config = config_for()
+        box = {}
+
+        def target():
+            box["run"] = run_sharded(
+                out, config, seed=1,
+                chaos={0: {"sigkill_at_cycle": 41}})
+
+        worker = threading.Thread(target=target)
+        worker.start()
+        early = {}
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and len(early) < 4:
+            early = exchange_files(out)
+            time.sleep(0.01)
+        worker.join(timeout=90)
+        assert not worker.is_alive()
+        assert box["run"].status == "done"
+        assert box["run"].restarts >= 1
+        final = exchange_files(out)
+        for path, digest in early.items():
+            assert final[path] == digest, f"{path} was republished"
+
+    def test_wedged_shard_detected_and_restarted(self, tmp_path):
+        config = config_for()
+        expected, expected_root = oracle(config, seed=1)
+        start = time.monotonic()
+        run = run_sharded(tmp_path / "s", config, seed=1,
+                          chaos={1: {"wedge_at_window": 6}},
+                          window_timeout=1.5)
+        elapsed = time.monotonic() - start
+        assert run.status == "done"
+        assert run.restarts >= 1
+        assert run.result == expected
+        assert run.digest_root == expected_root
+        # Detection is bounded by the barrier watchdog, not the (15s)
+        # lease: the whole run, including recovery, beats one lease.
+        assert elapsed < 15
+        events = [json.loads(line) for line in
+                  (tmp_path / "s" / "journal.jsonl").read_text().splitlines()]
+        reasons = [e.get("reason") for e in events
+                   if e["event"] == "restart"]
+        assert "wedged" in reasons
+
+    def test_unrecoverable_shard_raises_after_max_restarts(self, tmp_path):
+        from repro.parallel import ShardRunError
+
+        config = config_for()
+        with pytest.raises(ShardRunError, match="max_restarts"):
+            # Wedge chaos would only fire on attempt 1; a kill at a
+            # cycle the run never reaches can't be the trigger either,
+            # so use an impossible window to fail fast instead: kill
+            # attempt 1 and give the supervisor no restart budget.
+            run_sharded(tmp_path / "s", config, seed=1,
+                        chaos={0: {"sigkill_at_cycle": 5}},
+                        max_restarts=0)
+
+
+class TestGracefulDrain:
+    def test_sigterm_drain_then_resume_matches_uninterrupted(self, tmp_path):
+        """Flag-file drain (what the coordinator's SIGTERM handler
+        writes) checkpoints mid-run; the resumed run must finish
+        bit-identical to a run that was never interrupted."""
+        config = config_for()
+        expected, expected_root = oracle(config, seed=1, warmup=200,
+                                         measure=600)
+        out = tmp_path / "s"
+        box = {}
+
+        def target():
+            box["run"] = run_sharded(out, config, seed=1,
+                                     warmup=200, measure=600)
+
+        worker = threading.Thread(target=target)
+        worker.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not exchange_files(out):
+            time.sleep(0.005)
+        flag = drain_flag_path(str(out))
+        with atomic_write(flag) as fh:
+            fh.write("drain\n")
+        worker.join(timeout=90)
+        assert not worker.is_alive()
+        assert box["run"].status == "drained"
+        events = [json.loads(line) for line in
+                  (out / "journal.jsonl").read_text().splitlines()]
+        assert {"drain_begin", "drain_complete"} <= \
+            {e["event"] for e in events}
+        # Published windows survive the drain/resume cycle untouched.
+        parked = exchange_files(out)
+        resumed = run_sharded(out, config, seed=1, warmup=200, measure=600)
+        assert resumed.status == "done"
+        assert resumed.result == expected
+        assert resumed.digest_root == expected_root
+        final = exchange_files(out)
+        for path, digest in parked.items():
+            assert final[path] == digest
+
+    def test_drain_before_any_window_still_resumes(self, tmp_path):
+        config = config_for()
+        expected, expected_root = oracle(config, seed=2)
+        out = tmp_path / "s"
+        os.makedirs(os.path.dirname(drain_flag_path(str(out))))
+        with atomic_write(drain_flag_path(str(out))) as fh:
+            fh.write("drain\n")
+        # A pre-existing flag belongs to a previous invocation and is
+        # cleared at startup, so this run completes normally.
+        run = run_sharded(out, config, seed=2)
+        assert run.status == "done"
+        assert run.result == expected
+        assert run.digest_root == expected_root
+
+
+class TestCoordinatorCrash:
+    CLI = ("--topology", "mesh", "--mesh-k", "4", "--allocator", "islip1",
+           "--chaining", "disabled", "--seed", "1", "--rate", "0.25",
+           "--warmup", "400", "--measure", "1200", "--drain", "400",
+           "--shards", "2")
+
+    def spawn(self, out_dir, *extra):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard", *self.CLI,
+             "--out-dir", str(out_dir), *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def wait_for_exchange(self, out_dir, count=2, timeout=60):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(exchange_files(out_dir)) >= count:
+                return
+            time.sleep(0.01)
+        raise AssertionError("no exchange traffic before deadline")
+
+    def test_sigkilled_coordinator_resumes_bit_identically(self, tmp_path):
+        out = tmp_path / "s"
+        proc = self.spawn(out)
+        try:
+            self.wait_for_exchange(out)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        rerun = self.spawn(out, "--check-single")
+        stdout, stderr = rerun.communicate(timeout=110)
+        assert rerun.returncode == 0, stderr
+        assert "bit-identical" in stdout
+
+    def test_sigterm_exits_5_and_resume_completes(self, tmp_path):
+        out = tmp_path / "s"
+        proc = self.spawn(out)
+        try:
+            self.wait_for_exchange(out)
+            proc.terminate()  # SIGTERM: graceful drain
+            stdout, _stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert proc.returncode == 5
+        assert "resume with the same --out-dir" in stdout
+        rerun = self.spawn(out, "--check-single")
+        stdout, stderr = rerun.communicate(timeout=110)
+        assert rerun.returncode == 0, stderr
+        assert "bit-identical" in stdout
